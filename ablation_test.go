@@ -1,0 +1,230 @@
+// Ablation harness: benchmarks for the design choices DESIGN.md calls out,
+// separate from the paper-reproduction experiments in bench_test.go.
+//
+//	A1  cilk_for grain size vs running time and steal traffic
+//	A2  steal-cost sensitivity of T_P (the O(T∞) term's constant)
+//	A3  victim-selection policy (random vs round-robin vs last-success)
+//	A4  spawn burden vs the Cilkview lower-estimate accuracy
+//	A5  race-detector backend throughput (SP-bags vs SP-order)
+package cilkgo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cilkgo/internal/race"
+	"cilkgo/internal/sched"
+	"cilkgo/internal/sim"
+	"cilkgo/internal/vprog"
+)
+
+// BenchmarkA1GrainSize sweeps the cilk_for grain: too fine drowns in spawn
+// bookkeeping and steals, too coarse starves the machine of parallelism.
+// The automatic grain (≈ n/8P capped at 2048) sits in the flat valley.
+func BenchmarkA1GrainSize(b *testing.B) {
+	const n, body, procs = 1 << 20, 4, 16
+	type row struct {
+		grain        int64
+		time, steals int64
+		parallelism  float64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, grain := range []int64{1, 8, 64, 512, 2048, 16384, 131072, n} {
+			p := vprog.PFor(n, body, grain)
+			m := vprog.Analyze(p)
+			r, err := sim.Run(p, sim.Config{Procs: procs, StealCost: 10, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row{grain, r.Time, r.Steals, m.Parallelism})
+		}
+	}
+	best, worst := rows[0].time, rows[0].time
+	for _, r := range rows {
+		if r.time < best {
+			best = r.time
+		}
+		if r.time > worst {
+			worst = r.time
+		}
+	}
+	b.ReportMetric(float64(worst)/float64(best), "worst_over_best")
+	once("A1", func() {
+		fmt.Printf("\n[A1] cilk_for grain sweep (n=%d, P=%d, stealcost=10)\n", n, procs)
+		fmt.Printf("  %9s %12s %10s %14s\n", "grain", "T_P", "steals", "parallelism")
+		for _, r := range rows {
+			fmt.Printf("  %9d %12d %10d %14.0f\n", r.grain, r.time, r.steals, r.parallelism)
+		}
+	})
+}
+
+// BenchmarkA2StealCost sweeps the per-steal communication cost: T_P follows
+// T1/P + c·stealCost·T∞-ish growth, so doubling the steal cost should not
+// matter while parallelism is ample and must hurt when it is not.
+func BenchmarkA2StealCost(b *testing.B) {
+	ample := vprog.PFor(1<<18, 8, 64)   // parallelism in the thousands
+	scarce := vprog.Qsort(1<<17, 3, 64) // parallelism ≈ lg n
+	const procs = 8
+	type row struct {
+		cost            int64
+		ampleT, scarceT int64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, cost := range []int64{1, 10, 100, 1000} {
+			ra, err := sim.Run(ample, sim.Config{Procs: procs, StealCost: cost, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := sim.Run(scarce, sim.Config{Procs: procs, StealCost: cost, Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row{cost, ra.Time, rs.Time})
+		}
+	}
+	ampleGrowth := float64(rows[len(rows)-1].ampleT) / float64(rows[0].ampleT)
+	scarceGrowth := float64(rows[len(rows)-1].scarceT) / float64(rows[0].scarceT)
+	b.ReportMetric(ampleGrowth, "ample_growth_1000x_cost")
+	b.ReportMetric(scarceGrowth, "scarce_growth_1000x_cost")
+	once("A2", func() {
+		fmt.Printf("\n[A2] steal-cost sensitivity at P=%d\n", procs)
+		fmt.Printf("  %9s %16s %16s\n", "cost", "T_P (ample ‖ism)", "T_P (scarce ‖ism)")
+		for _, r := range rows {
+			fmt.Printf("  %9d %16d %16d\n", r.cost, r.ampleT, r.scarceT)
+		}
+		fmt.Printf("  ×1000 steal cost grew ample-parallelism time ×%.2f, scarce ×%.2f\n",
+			ampleGrowth, scarceGrowth)
+	})
+}
+
+// BenchmarkA3VictimPolicy compares steal-victim policies. Random selection
+// is the policy with the proven bound; the alternatives are common
+// engineering temptations.
+func BenchmarkA3VictimPolicy(b *testing.B) {
+	p := vprog.Qsort(1<<18, 11, 128)
+	work := vprog.Analyze(p).Work
+	const procs = 16
+	policies := []struct {
+		name string
+		v    sim.VictimPolicy
+	}{
+		{"random", sim.VictimRandom},
+		{"round-robin", sim.VictimRoundRobin},
+		{"last-success", sim.VictimLastSuccess},
+	}
+	type row struct {
+		name             string
+		time             int64
+		attempts, steals int64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, pol := range policies {
+			r, err := sim.Run(p, sim.Config{Procs: procs, StealCost: 20, Seed: 3, Victim: pol.v})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row{pol.name, r.Time, r.StealAttempts, r.Steals})
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(work)/float64(r.time), "speedup_"+r.name)
+	}
+	once("A3", func() {
+		fmt.Printf("\n[A3] victim-selection policy (qsort, P=%d, stealcost=20)\n", procs)
+		fmt.Printf("  %-14s %12s %10s %12s\n", "policy", "T_P", "steals", "attempts")
+		for _, r := range rows {
+			fmt.Printf("  %-14s %12d %10d %12d\n", r.name, r.time, r.steals, r.attempts)
+		}
+	})
+}
+
+// BenchmarkA4BurdenModel sweeps the per-spawn burden and compares the
+// Cilkview lower estimate against the simulated speedup with the same
+// physical spawn cost: the estimate must stay a lower bound yet track the
+// simulation's shape.
+func BenchmarkA4BurdenModel(b *testing.B) {
+	prog := vprog.Qsort(1_000_000, 5, 512)
+	m := vprog.Analyze(prog)
+	const procs = 16
+	type row struct {
+		burden    int64
+		estimate  float64
+		simulated float64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, burden := range []int64{0, 100, 1000, 10000} {
+			bm := vprog.AnalyzeBurdened(prog, burden)
+			est := float64(m.Work) / (float64(m.Work)/float64(procs) + float64(bm.Span))
+			r, err := sim.Run(prog, sim.Config{Procs: procs, SpawnCost: burden, StealCost: 10, Seed: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			simSpd := float64(m.Work) / float64(r.Time)
+			rows = append(rows, row{burden, est, simSpd})
+		}
+	}
+	for _, r := range rows {
+		if r.estimate > r.simulated*1.25 {
+			b.Fatalf("burden %d: estimate %.2f is no longer a (near-)lower bound of simulated %.2f",
+				r.burden, r.estimate, r.simulated)
+		}
+	}
+	once("A4", func() {
+		fmt.Printf("\n[A4] burden sweep: Cilkview lower estimate vs simulated speedup (P=%d)\n", procs)
+		fmt.Printf("  %9s %12s %12s\n", "burden", "estimate", "simulated")
+		for _, r := range rows {
+			fmt.Printf("  %9d %12.2f %12.2f\n", r.burden, r.estimate, r.simulated)
+		}
+	})
+}
+
+// BenchmarkA5DetectorBackends compares race-detection throughput of the two
+// provably good SP-maintenance algorithms on the same instrumented program.
+func BenchmarkA5DetectorBackends(b *testing.B) {
+	program := func(c *sched.Context, d *race.Detector) {
+		var rec func(c *sched.Context, lo, hi int)
+		rec = func(c *sched.Context, lo, hi int) {
+			if hi-lo < 2 {
+				d.Write(race.Index("a", lo), "leaf")
+				return
+			}
+			mid := (lo + hi) / 2
+			for i := lo; i < hi; i++ {
+				d.Read(race.Index("a", i), "scan")
+			}
+			c.Spawn(func(c *sched.Context) { rec(c, lo, mid) })
+			rec(c, mid, hi)
+			c.Sync()
+		}
+		rec(c, 0, 2048)
+	}
+	for _, backend := range []struct {
+		name  string
+		check func(func(*sched.Context, *race.Detector)) ([]race.Report, error)
+	}{
+		{"spbags", race.Check},
+		{"sporder", race.CheckSPOrder},
+	} {
+		b.Run(backend.name, func(b *testing.B) {
+			var reports int
+			for i := 0; i < b.N; i++ {
+				rs, err := backend.check(program)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reports = len(rs)
+			}
+			if reports != 0 {
+				b.Fatalf("unexpected races: %d", reports)
+			}
+		})
+	}
+}

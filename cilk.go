@@ -1,0 +1,90 @@
+// Package cilkgo is a Go reproduction of the Cilk++ concurrency platform
+// (C.E. Leiserson, "The Cilk++ concurrency platform", DAC 2009): a
+// work-stealing fork-join runtime with provable performance bounds, the
+// cilk_for parallel loop, reducer hyperobjects that mitigate races on
+// nonlocal variables without locks, a Cilkscreen-style determinacy-race
+// detector, and a Cilkview-style performance analyzer.
+//
+// This package is the user-facing facade. The three Cilk++ keywords map to:
+//
+//	cilk_spawn f(x)   →  ctx.Spawn(func(ctx *cilkgo.Context) { f(ctx, x) })
+//	cilk_sync         →  ctx.Sync()
+//	cilk_for          →  cilkgo.For(ctx, lo, hi, body)
+//
+// A minimal program:
+//
+//	rt := cilkgo.New()
+//	defer rt.Shutdown()
+//	err := rt.Run(func(ctx *cilkgo.Context) {
+//		cilkgo.For(ctx, 0, n, func(ctx *cilkgo.Context, i int) {
+//			a[i] = math.Sin(float64(i))
+//		})
+//	})
+//
+// Subsystem packages (importable directly for their full APIs):
+//
+//	internal/sched    the work-stealing scheduler (§3)
+//	internal/pfor     cilk_for (§1–2)
+//	internal/hyper    reducer hyperobjects (§5)
+//	internal/race     the Cilkscreen race detector (§4)
+//	internal/cilkview the performance analyzer (§3.1, Fig. 3)
+//	internal/cilklock the mutex library (§1)
+//	internal/sim      a deterministic simulator of the Cilk scheduler
+//	internal/dag      the dag model of multithreading (§2)
+package cilkgo
+
+import (
+	"cilkgo/internal/pfor"
+	"cilkgo/internal/sched"
+)
+
+// Core runtime types, re-exported from internal/sched.
+type (
+	// Runtime is a work-stealing scheduler instance.
+	Runtime = sched.Runtime
+	// Context is the per-strand handle passed through a computation;
+	// Context.Spawn and Context.Sync are cilk_spawn and cilk_sync.
+	Context = sched.Context
+	// Option configures New.
+	Option = sched.Option
+	// Stats reports scheduler counters (spawns, steals, frame depths).
+	Stats = sched.Stats
+	// PanicError wraps a panic captured inside a computation.
+	PanicError = sched.PanicError
+)
+
+// New creates a runtime with one worker per processor (override with
+// Workers) and starts its workers.
+func New(opts ...Option) *Runtime { return sched.New(opts...) }
+
+// Workers sets the number of workers.
+func Workers(n int) Option { return sched.Workers(n) }
+
+// SerialElision makes the runtime execute programs as their serial
+// elisions, as the race detector and profiler require.
+func SerialElision() Option { return sched.SerialElision() }
+
+// StealSeed makes the schedule's random victim selection reproducible.
+func StealSeed(seed int64) Option { return sched.StealSeed(seed) }
+
+// For executes body(ctx, i) for every i in [lo, hi) as a cilk_for loop:
+// divide-and-conquer parallel recursion over the iteration space with an
+// automatic grain size, returning only when all iterations complete.
+func For(ctx *Context, lo, hi int, body func(ctx *Context, i int)) {
+	pfor.For(ctx, lo, hi, body)
+}
+
+// ForGrain is For with an explicit grain size (iterations per serial chunk).
+func ForGrain(ctx *Context, lo, hi, grain int, body func(ctx *Context, i int)) {
+	pfor.ForGrain(ctx, lo, hi, grain, body)
+}
+
+// Each runs body over every element of s in parallel.
+func Each[T any](ctx *Context, s []T, body func(ctx *Context, i int, v *T)) {
+	pfor.Each(ctx, s, body)
+}
+
+// For2D executes body over [lo1,hi1) × [lo2,hi2) in parallel.
+func For2D(ctx *Context, lo1, hi1, lo2, hi2 int, body func(ctx *Context, i, j int)) {
+	pfor.For2D(ctx, lo1, hi1, lo2, hi2, body)
+}

@@ -1,0 +1,90 @@
+// Cilksim sweeps the work-stealing scheduler simulator over processor
+// counts for a named workload and prints T_P, speedup, utilization, steal
+// counts and stack occupancy — the machinery behind experiments E4–E6 and
+// E8 (see DESIGN.md).
+//
+//	cilksim -workload qsort -n 100000000 -grain 2048 -procs 1,2,4,8,16,32
+//	cilksim -workload treewalk-mutex -n 30000 -handoff 300 -procs 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cilkgo/internal/sim"
+	"cilkgo/internal/vprog"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "fib", "qsort | fib | matmul | bfs | spmv | treewalk | treewalk-mutex | loopspawn | pfor")
+		n         = flag.Int64("n", 25, "problem size")
+		grain     = flag.Int64("grain", 64, "serial grain size")
+		seed      = flag.Int64("seed", 1, "workload and schedule seed")
+		stealCost = flag.Int64("stealcost", 1, "virtual cost per steal attempt")
+		spawnCost = flag.Int64("spawncost", 0, "virtual overhead per spawn")
+		handoff   = flag.Int64("handoff", 0, "lock migration penalty for Critical sections")
+		procsFlag = flag.String("procs", "1,2,4,8,16", "processor counts")
+	)
+	flag.Parse()
+
+	prog, err := pickWorkload(*workload, *n, *grain, uint64(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m := vprog.Analyze(prog)
+	fmt.Printf("%s: work=%d span=%d parallelism=%.2f spawns=%d depth=%d\n\n",
+		prog.Name, m.Work, m.Span, m.Parallelism, m.Spawns, m.MaxDepth)
+	fmt.Printf("%5s %14s %9s %6s %12s %12s %9s %10s\n",
+		"P", "T_P", "speedup", "util", "steals", "attempts", "max-live", "lock-wait")
+	for _, part := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "bad processor count %q\n", part)
+			os.Exit(2)
+		}
+		r, err := sim.Run(prog, sim.Config{
+			Procs:       p,
+			StealCost:   *stealCost,
+			SpawnCost:   *spawnCost,
+			LockHandoff: *handoff,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "P=%d: %v\n", p, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%5d %14d %9.2f %6.2f %12d %12d %9d %10d\n",
+			p, r.Time, r.Speedup(m.Work), r.Utilization(),
+			r.Steals, r.StealAttempts, r.MaxLiveFrames, r.LockWait)
+	}
+}
+
+func pickWorkload(name string, n, grain int64, seed uint64) (vprog.Program, error) {
+	switch name {
+	case "qsort":
+		return vprog.Qsort(n, seed, grain), nil
+	case "fib":
+		return vprog.Fib(int(n)), nil
+	case "matmul":
+		return vprog.MatMul(n, 8), nil
+	case "bfs":
+		return vprog.BFS(n, 8, 24, seed), nil
+	case "spmv":
+		return vprog.SpMV(n, 5, 100, grain), nil
+	case "treewalk":
+		return vprog.TreeWalk(n, seed, 8, 12, 900), nil
+	case "treewalk-mutex":
+		return vprog.TreeWalkLocked(n, seed, 8, 12, 900), nil
+	case "loopspawn":
+		return vprog.LoopSpawn(n, 100), nil
+	case "pfor":
+		return vprog.PFor(n, 10, grain), nil
+	default:
+		return vprog.Program{}, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,111 @@
+// Cilkview prints the parallelism profile of a named workload — work,
+// span, parallelism, burdened parallelism, and the Fig. 3 speedup series
+// (estimated lower bound, simulated speedups, Work Law and Span Law
+// bounds).
+//
+// Reproducing Fig. 3 (quicksort of 10⁸ numbers, span-law ceiling ≈ 10):
+//
+//	cilkview -workload qsort -n 100000000 -grain 2048 -burden 1000 -procs 1,2,4,8,16,32 -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cilkgo/internal/cilkview"
+	"cilkgo/internal/sim"
+	"cilkgo/internal/vprog"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "qsort", "qsort | fib | matmul | bfs | spmv | treewalk | loopspawn | pfor")
+		n         = flag.Int64("n", 100_000_000, "problem size")
+		grain     = flag.Int64("grain", 2048, "serial grain size")
+		seed      = flag.Int64("seed", 1, "workload and schedule seed")
+		burden    = flag.Int64("burden", 1000, "per-spawn scheduling burden (cost units)")
+		stealCost = flag.Int64("stealcost", 100, "virtual cost per steal attempt in -simulate")
+		procsFlag = flag.String("procs", "1,2,4,8,16,32", "processor counts to tabulate")
+		simulate  = flag.Bool("simulate", false, "run the scheduler simulator to add measured speedups")
+		csv       = flag.Bool("csv", false, "emit CSV instead of the table")
+		plot      = flag.Bool("plot", false, "also draw the Fig. 3-style ASCII speedup plot")
+	)
+	flag.Parse()
+
+	prog, err := pickWorkload(*workload, *n, *grain, uint64(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	profile := cilkview.FromProgram(prog, *burden)
+	var measured []cilkview.Point
+	if *simulate {
+		for _, p := range procs {
+			r, err := sim.Run(prog, sim.Config{Procs: p, StealCost: *stealCost, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simulate P=%d: %v\n", p, err)
+				os.Exit(1)
+			}
+			measured = append(measured, cilkview.Point{Procs: p, Speedup: r.Speedup(profile.Work)})
+		}
+	}
+	if *csv {
+		fmt.Print(cilkview.CSV(profile, procs, measured))
+	} else {
+		fmt.Print(cilkview.Render(profile, procs, measured))
+	}
+	if *plot {
+		maxP := 0
+		for _, p := range procs {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		fmt.Println()
+		fmt.Print(cilkview.Plot(profile, maxP, measured))
+	}
+}
+
+func pickWorkload(name string, n, grain int64, seed uint64) (vprog.Program, error) {
+	switch name {
+	case "qsort":
+		return vprog.Qsort(n, seed, grain), nil
+	case "fib":
+		return vprog.Fib(int(n)), nil
+	case "matmul":
+		return vprog.MatMul(n, 8), nil
+	case "bfs":
+		return vprog.BFS(n, 8, 24, seed), nil
+	case "spmv":
+		return vprog.SpMV(n, 5, 100, grain), nil
+	case "treewalk":
+		return vprog.TreeWalk(n, seed, 8, 12, 333), nil
+	case "loopspawn":
+		return vprog.LoopSpawn(n, 100), nil
+	case "pfor":
+		return vprog.PFor(n, 10, grain), nil
+	default:
+		return vprog.Program{}, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module cilkgo
+
+go 1.22

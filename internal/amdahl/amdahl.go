@@ -1,0 +1,42 @@
+// Package amdahl implements Amdahl's Law (§2 of the paper) and its
+// relationship to the dag model. Amdahl's observation: if a fraction p of a
+// computation can run in parallel and the rest is serial, the speedup on
+// any number of processors is at most 1/(1−p). The dag model subsumes and
+// refines this: work and span quantify exactly how much parallelism a
+// computation has, while Amdahl's Law only bounds it.
+package amdahl
+
+// Speedup returns Amdahl's predicted speedup for parallel fraction f on
+// procs processors: 1 / ((1−f) + f/P). f must lie in [0,1], procs ≥ 1.
+func Speedup(f float64, procs int) float64 {
+	check(f, procs)
+	return 1 / ((1 - f) + f/float64(procs))
+}
+
+// Limit returns Amdahl's upper bound on speedup for parallel fraction f on
+// infinitely many processors: 1/(1−f). Limit(1) is +Inf.
+func Limit(f float64) float64 {
+	check(f, 1)
+	return 1 / (1 - f)
+}
+
+// ParallelFraction recovers the Amdahl parallel fraction of a computation
+// from its dag measures: the span is the serial part the critical path
+// cannot avoid, so f = 1 − T∞/T1. This is the precise sense in which the
+// dag model subsumes Amdahl's Law: Limit(ParallelFraction(work, span)) =
+// work/span = the parallelism.
+func ParallelFraction(work, span int64) float64 {
+	if work <= 0 || span <= 0 || span > work {
+		panic("amdahl: need 0 < span ≤ work")
+	}
+	return 1 - float64(span)/float64(work)
+}
+
+func check(f float64, procs int) {
+	if f < 0 || f > 1 {
+		panic("amdahl: parallel fraction outside [0,1]")
+	}
+	if procs < 1 {
+		panic("amdahl: processor count must be ≥ 1")
+	}
+}

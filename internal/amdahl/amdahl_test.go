@@ -1,0 +1,90 @@
+package amdahl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cilkgo/internal/vprog"
+)
+
+func TestPaperExample(t *testing.T) {
+	// §2: "Suppose that 50% of a computation can be parallelized and 50%
+	// cannot... the total time is cut at most in half, leaving a speedup
+	// of at most 2."
+	if got := Limit(0.5); got != 2 {
+		t.Fatalf("Limit(0.5) = %v, want 2", got)
+	}
+	if got := Speedup(0.5, 1); got != 1 {
+		t.Fatalf("Speedup(0.5, 1) = %v, want 1", got)
+	}
+	inf := Speedup(0.5, 1<<30)
+	if inf < 1.99 || inf > 2 {
+		t.Fatalf("Speedup(0.5, ∞) = %v, want → 2", inf)
+	}
+}
+
+func TestFullyParallel(t *testing.T) {
+	if got := Speedup(1, 8); got != 8 {
+		t.Fatalf("Speedup(1, 8) = %v, want 8", got)
+	}
+	if got := Limit(1); !math.IsInf(got, 1) {
+		t.Fatalf("Limit(1) = %v, want +Inf", got)
+	}
+}
+
+func TestFullySerial(t *testing.T) {
+	if got := Speedup(0, 64); got != 1 {
+		t.Fatalf("Speedup(0, 64) = %v, want 1", got)
+	}
+	if got := Limit(0); got != 1 {
+		t.Fatalf("Limit(0) = %v, want 1", got)
+	}
+}
+
+func TestParallelFractionSubsumesAmdahl(t *testing.T) {
+	// For any dag, Limit(ParallelFraction) equals the parallelism T1/T∞:
+	// the dag model's bound coincides with Amdahl's when the fraction is
+	// derived from work and span.
+	m := vprog.Analyze(vprog.SerialParallel(10_000, 10_000, 64))
+	f := ParallelFraction(m.Work, m.Span)
+	if got, want := Limit(f), float64(m.Work)/float64(m.Span); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Limit(f) = %v, want parallelism %v", got, want)
+	}
+}
+
+func TestQuickSpeedupProperties(t *testing.T) {
+	f := func(fr float64, procsRaw uint8) bool {
+		fr = math.Abs(fr)
+		fr -= math.Floor(fr) // into [0,1)
+		procs := int(procsRaw)%128 + 1
+		s := Speedup(fr, procs)
+		// 1 ≤ speedup ≤ min(P, Limit(f)).
+		if s < 1-1e-12 || s > float64(procs)+1e-12 {
+			return false
+		}
+		return s <= Limit(fr)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Speedup(-0.1, 4) },
+		func() { Speedup(1.1, 4) },
+		func() { Speedup(0.5, 0) },
+		func() { ParallelFraction(0, 0) },
+		func() { ParallelFraction(5, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package cilklock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	m := New("counter")
+	var wg sync.WaitGroup
+	counter := 0
+	const goroutines, iters = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+	s := m.Stats()
+	if s.Acquisitions != goroutines*iters {
+		t.Fatalf("Acquisitions = %d, want %d", s.Acquisitions, goroutines*iters)
+	}
+	if s.Contended > s.Acquisitions {
+		t.Fatalf("Contended %d > Acquisitions %d", s.Contended, s.Acquisitions)
+	}
+}
+
+func TestUncontendedStats(t *testing.T) {
+	m := New("quiet")
+	for i := 0; i < 10; i++ {
+		m.Lock()
+		m.Unlock()
+	}
+	s := m.Stats()
+	if s.Acquisitions != 10 || s.Contended != 0 || s.Wait != 0 {
+		t.Fatalf("stats = %+v, want 10 uncontended acquisitions", s)
+	}
+	m.ResetStats()
+	if s := m.Stats(); s.Acquisitions != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	a, b := New("a"), New("b")
+	if a.ID() == b.ID() {
+		t.Fatal("two mutexes share an ID")
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatal("names not preserved")
+	}
+}
+
+type recObserver struct{ events []string }
+
+func (r *recObserver) OnLock(id uint64)   { r.events = append(r.events, "L") }
+func (r *recObserver) OnUnlock(id uint64) { r.events = append(r.events, "U") }
+
+func TestObserverEvents(t *testing.T) {
+	rec := &recObserver{}
+	SetObserver(rec)
+	defer SetObserver(nil)
+	m := New("observed")
+	m.Lock()
+	m.Unlock()
+	m.Lock()
+	m.Unlock()
+	if got := len(rec.events); got != 4 {
+		t.Fatalf("observer saw %d events, want 4", got)
+	}
+	for i, e := range rec.events {
+		want := "L"
+		if i%2 == 1 {
+			want = "U"
+		}
+		if e != want {
+			t.Fatalf("event %d = %s, want %s", i, e, want)
+		}
+	}
+}
+
+func TestObserverRemoval(t *testing.T) {
+	rec := &recObserver{}
+	SetObserver(rec)
+	SetObserver(nil)
+	m := New("unobserved")
+	m.Lock()
+	m.Unlock()
+	if len(rec.events) != 0 {
+		t.Fatalf("removed observer still saw %d events", len(rec.events))
+	}
+}

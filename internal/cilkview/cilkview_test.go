@@ -1,0 +1,169 @@
+package cilkview
+
+import (
+	"strings"
+	"testing"
+
+	"cilkgo/internal/sched"
+	"cilkgo/internal/vprog"
+)
+
+func TestProfileBounds(t *testing.T) {
+	p := Profile{Name: "t", Work: 1800, Span: 90, BurdenedSpan: 180}
+	if got := p.Parallelism(); got != 20 {
+		t.Fatalf("Parallelism = %v, want 20", got)
+	}
+	if got := p.BurdenedParallelism(); got != 10 {
+		t.Fatalf("BurdenedParallelism = %v, want 10", got)
+	}
+	if got := p.SpeedupUpper(4); got != 4 {
+		t.Fatalf("SpeedupUpper(4) = %v, want 4 (work law binds)", got)
+	}
+	if got := p.SpeedupUpper(64); got != 20 {
+		t.Fatalf("SpeedupUpper(64) = %v, want parallelism 20 (span law binds)", got)
+	}
+	// Lower estimate: T1/(T1/P + T∞ᵇ); at P=1 it is < 1; it approaches the
+	// burdened parallelism as P grows.
+	if got := p.SpeedupLowerEstimate(1); got >= 1 {
+		t.Fatalf("lower estimate at P=1 = %v, want < 1", got)
+	}
+	if got := p.SpeedupLowerEstimate(1 << 20); got < 9.9 || got > 10 {
+		t.Fatalf("lower estimate at P→∞ = %v, want → burdened parallelism 10", got)
+	}
+	// Monotone nondecreasing in P.
+	prev := 0.0
+	for procs := 1; procs <= 64; procs *= 2 {
+		cur := p.SpeedupLowerEstimate(procs)
+		if cur < prev {
+			t.Fatalf("lower estimate decreased at P=%d: %v < %v", procs, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFromProgramBurden(t *testing.T) {
+	prog := vprog.Fib(10)
+	p := FromProgram(prog, 100)
+	m := vprog.Analyze(prog)
+	if p.Work != m.Work || p.Span != m.Span {
+		t.Fatalf("profile work/span %d/%d, want %d/%d", p.Work, p.Span, m.Work, m.Span)
+	}
+	if p.BurdenedSpan <= p.Span {
+		t.Fatalf("burdened span %d must exceed span %d", p.BurdenedSpan, p.Span)
+	}
+	// fib's critical path has one spawn per level: burden adds ~100/level.
+	if p.BurdenedSpan > p.Span+100*20 {
+		t.Fatalf("burdened span %d unreasonably large", p.BurdenedSpan)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	p := FromProgram(vprog.Qsort(100_000, 1, 32), 50)
+	out := Render(p, []int{1, 2, 4, 8}, []Point{{Procs: 4, Speedup: 3.7}})
+	for _, want := range []string{"Parallelism profile", "Work (T1)", "Burdened parallelism", "3.70"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	csv := CSV(p, []int{1, 2}, nil)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "procs,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestMeasureSerialProgram(t *testing.T) {
+	// A purely serial program has parallelism ≈ 1.
+	p, err := Measure("serial", func(c *sched.Context) {
+		busyWork(2_000_000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Work <= 0 || p.Span <= 0 {
+		t.Fatalf("profile = %+v, want positive work and span", p)
+	}
+	par := p.Parallelism()
+	if par < 0.9 || par > 1.1 {
+		t.Fatalf("serial program parallelism = %.3f, want ≈ 1", par)
+	}
+}
+
+func TestMeasureParallelProgram(t *testing.T) {
+	// Eight equal spawned chunks: parallelism should be well above 1 and at
+	// most 8 (plus measurement noise slack).
+	p, err := Measure("wide", func(c *sched.Context) {
+		for i := 0; i < 8; i++ {
+			c.Spawn(func(*sched.Context) { busyWork(1_500_000) })
+		}
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := p.Parallelism()
+	if par < 3 {
+		t.Fatalf("parallelism = %.2f, want clearly parallel (≥ 3)", par)
+	}
+	if par > 9 {
+		t.Fatalf("parallelism = %.2f exceeds the 8-way structure", par)
+	}
+	if p.Spawns != 8 {
+		t.Fatalf("Spawns = %d, want 8", p.Spawns)
+	}
+}
+
+func TestMeasureRespectsSyncStructure(t *testing.T) {
+	// Two phases of 4 spawns with a sync between: parallelism ≤ 4.
+	p, err := Measure("phased", func(c *sched.Context) {
+		for phase := 0; phase < 2; phase++ {
+			for i := 0; i < 4; i++ {
+				c.Spawn(func(*sched.Context) { busyWork(1_000_000) })
+			}
+			c.Sync()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par := p.Parallelism(); par > 5 {
+		t.Fatalf("parallelism = %.2f, but sync caps the structure at 4", par)
+	}
+}
+
+// busyWork spins for roughly n cheap operations; the sink defeats dead-code
+// elimination.
+var sink int64
+
+func busyWork(n int) {
+	s := int64(0)
+	for i := 0; i < n; i++ {
+		s += int64(i ^ (i >> 3))
+	}
+	sink += s
+}
+
+func TestPlot(t *testing.T) {
+	p := FromProgram(vprog.Qsort(1_000_000, 1, 256), 200)
+	out := Plot(p, 32, []Point{{Procs: 4, Speedup: 3.5}, {Procs: 16, Speedup: 6.1}})
+	for _, want := range []string{"speedup", "=", "/", "~", "o", "(processors)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Plot output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n < 20 {
+		t.Fatalf("plot suspiciously small: %d lines", n)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	// A serial profile (parallelism 1) must not panic or divide by zero.
+	p := Profile{Name: "serial", Work: 100, Span: 100, BurdenedSpan: 100}
+	out := Plot(p, 1, nil)
+	if !strings.Contains(out, "parallelism 1.00") {
+		t.Fatalf("degenerate plot:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package cilkview
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plot renders the Fig. 3 picture as ASCII art: speedup (y) against
+// processor count (x), with the Work Law line of slope 1 ('/'), the Span
+// Law ceiling at the parallelism ('='), the burdened lower-bound estimate
+// ('~'), and measured speedups ('o'). The y-axis is clipped to the visible
+// region, exactly as the figure clips its bounds to the plotted window.
+func Plot(p Profile, maxProcs int, measured []Point) string {
+	const width, height = 64, 20
+	if maxProcs < 2 {
+		maxProcs = 2
+	}
+	ymax := p.Parallelism() * 1.2
+	if lim := float64(maxProcs); ymax > lim*1.2 {
+		ymax = lim * 1.2
+	}
+	if ymax < 2 {
+		ymax = 2
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// row 0 is the top; map speedup y∈[0,ymax] to rows.
+	put := func(x int, y float64, ch byte) {
+		if x < 0 || x >= width || y < 0 {
+			return
+		}
+		r := height - 1 - int(y/ymax*float64(height-1)+0.5)
+		if r < 0 || r >= height {
+			return
+		}
+		grid[r][x] = ch
+	}
+	xOf := func(procs float64) int {
+		return int(procs / float64(maxProcs) * float64(width-1))
+	}
+	for x := 0; x < width; x++ {
+		procs := float64(x) / float64(width-1) * float64(maxProcs)
+		put(x, p.Parallelism(), '=') // Span Law ceiling
+		put(x, procs, '/')           // Work Law, slope 1
+		if procs >= 1 {
+			put(x, p.SpeedupLowerEstimate(int(procs+0.5)), '~')
+		}
+	}
+	for _, m := range measured {
+		put(xOf(float64(m.Procs)), m.Speedup, 'o')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup (ceiling: parallelism %.2f)\n", p.Parallelism())
+	for r := 0; r < height; r++ {
+		y := (float64(height-1-r) / float64(height-1)) * ymax
+		if r%4 == 0 || r == height-1 {
+			fmt.Fprintf(&b, "%6.1f |%s\n", y, grid[r])
+		} else {
+			fmt.Fprintf(&b, "       |%s\n", grid[r])
+		}
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        0%*d  (processors)\n", width-1, maxProcs)
+	b.WriteString("        / work law    = span law    ~ burdened lower estimate    o measured\n")
+	return b.String()
+}

@@ -1,0 +1,303 @@
+// Package dag implements the dag model of multithreading from §2 of the
+// paper: a multithreaded execution is a directed acyclic graph whose
+// vertices are instructions (or weighted strands) and whose edges are
+// ordering dependencies.
+//
+// The package provides the two natural measures the model admits — work
+// (total weight, T1) and span (longest weighted path, T∞) — together with
+// parallelism (T1/T∞), critical-path extraction, precedence queries
+// (x ≺ y and x ‖ y), strand decomposition, and the performance-law bounds
+// (Work Law: T_P ≥ T1/P; Span Law: T_P ≥ T∞).
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Node identifies a vertex in a Dag. Nodes are dense handles allocated by
+// AddNode, so they can index package-internal slices directly.
+type Node int32
+
+// Dag is a weighted directed acyclic graph under construction or analysis.
+// Acyclicity is not enforced edge-by-edge; it is validated by the analysis
+// entry points, which fail on cyclic inputs.
+type Dag struct {
+	weight []int64
+	succ   [][]Node
+	pred   [][]Node
+	edges  int
+}
+
+// New returns an empty dag.
+func New() *Dag { return &Dag{} }
+
+// AddNode adds a vertex with the given nonnegative weight (its execution
+// time in the model's unit-cost terms) and returns its handle.
+func (g *Dag) AddNode(weight int64) Node {
+	if weight < 0 {
+		panic("dag: negative node weight")
+	}
+	n := Node(len(g.weight))
+	g.weight = append(g.weight, weight)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return n
+}
+
+// AddEdge records the dependency u ≺ v: u must complete before v begins.
+func (g *Dag) AddEdge(u, v Node) {
+	g.checkNode(u)
+	g.checkNode(v)
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.edges++
+}
+
+func (g *Dag) checkNode(n Node) {
+	if n < 0 || int(n) >= len(g.weight) {
+		panic(fmt.Sprintf("dag: node %d out of range [0,%d)", n, len(g.weight)))
+	}
+}
+
+// Len reports the number of vertices.
+func (g *Dag) Len() int { return len(g.weight) }
+
+// Edges reports the number of edges.
+func (g *Dag) Edges() int { return g.edges }
+
+// Weight returns the weight of node n.
+func (g *Dag) Weight(n Node) int64 {
+	g.checkNode(n)
+	return g.weight[n]
+}
+
+// Succ returns the successors of n. The returned slice must not be modified.
+func (g *Dag) Succ(n Node) []Node {
+	g.checkNode(n)
+	return g.succ[n]
+}
+
+// Pred returns the predecessors of n. The returned slice must not be modified.
+func (g *Dag) Pred(n Node) []Node {
+	g.checkNode(n)
+	return g.pred[n]
+}
+
+// ErrCycle is returned by analyses when the graph is not acyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// TopoOrder returns a topological ordering of the vertices, or ErrCycle.
+func (g *Dag) TopoOrder() ([]Node, error) {
+	n := g.Len()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(len(g.pred[v]))
+	}
+	order := make([]Node, 0, n)
+	queue := make([]Node, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, Node(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Metrics holds the dag model's summary measures for one computation.
+type Metrics struct {
+	Work        int64   // T1: total weight of all vertices
+	Span        int64   // T∞: weight of the heaviest dependency path
+	Parallelism float64 // T1 / T∞
+	Nodes       int
+	Edges       int
+	// SpanNodes counts the vertices on the critical path returned by
+	// CriticalPath (informational; several critical paths may exist).
+	SpanNodes int
+}
+
+// Analyze computes work, span and parallelism. It returns ErrCycle for
+// cyclic graphs and zero-valued metrics (Parallelism 0) for empty ones.
+func (g *Dag) Analyze() (Metrics, error) {
+	m := Metrics{Nodes: g.Len(), Edges: g.edges}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Metrics{}, err
+	}
+	finish := make([]int64, g.Len()) // heaviest path weight ending at v, inclusive
+	for _, v := range order {
+		m.Work += g.weight[v]
+		best := int64(0)
+		for _, u := range g.pred[v] {
+			if finish[u] > best {
+				best = finish[u]
+			}
+		}
+		finish[v] = best + g.weight[v]
+		if finish[v] > m.Span {
+			m.Span = finish[v]
+		}
+	}
+	if m.Span > 0 {
+		m.Parallelism = float64(m.Work) / float64(m.Span)
+	}
+	if p, err := g.CriticalPath(); err == nil {
+		m.SpanNodes = len(p)
+	}
+	return m, nil
+}
+
+// CriticalPath returns one heaviest dependency path (the critical path,
+// §2.2). Ties are broken toward the smallest node handle, which makes the
+// result deterministic.
+func (g *Dag) CriticalPath() ([]Node, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	finish := make([]int64, n)
+	from := make([]Node, n)
+	for i := range from {
+		from[i] = -1
+	}
+	var end Node = -1
+	var best int64 = -1
+	for _, v := range order {
+		var pw int64
+		var pf Node = -1
+		for _, u := range g.pred[v] {
+			if finish[u] > pw || (finish[u] == pw && pf != -1 && u < pf) {
+				pw, pf = finish[u], u
+			}
+		}
+		finish[v] = pw + g.weight[v]
+		from[v] = pf
+		if finish[v] > best || (finish[v] == best && v < end) {
+			best, end = finish[v], v
+		}
+	}
+	var path []Node
+	for v := end; v != -1; v = from[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Precedes reports whether x ≺ y: x must complete before y can begin,
+// i.e. there is a nonempty dependency path from x to y.
+func (g *Dag) Precedes(x, y Node) bool {
+	g.checkNode(x)
+	g.checkNode(y)
+	if x == y {
+		return false
+	}
+	seen := make([]bool, g.Len())
+	stack := []Node{x}
+	seen[x] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.succ[v] {
+			if w == y {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// Parallel reports whether x ‖ y: neither x ≺ y nor y ≺ x (§2).
+// A vertex is not parallel with itself.
+func (g *Dag) Parallel(x, y Node) bool {
+	if x == y {
+		return false
+	}
+	return !g.Precedes(x, y) && !g.Precedes(y, x)
+}
+
+// Strands decomposes the dag into strands (§4): maximal paths in which every
+// interior vertex has exactly one incoming and one outgoing edge. Each vertex
+// belongs to exactly one strand; strands are returned in order of their first
+// vertex's handle.
+func (g *Dag) Strands() [][]Node {
+	n := g.Len()
+	inStrand := make([]bool, n)
+	var strands [][]Node
+	isHead := func(v Node) bool {
+		// A strand starts at v if v cannot extend a chain backward:
+		// v has != 1 predecessor, or its sole predecessor branches.
+		if len(g.pred[v]) != 1 {
+			return true
+		}
+		u := g.pred[v][0]
+		return len(g.succ[u]) != 1
+	}
+	for v := 0; v < n; v++ {
+		if inStrand[v] || !isHead(Node(v)) {
+			continue
+		}
+		s := []Node{Node(v)}
+		inStrand[v] = true
+		cur := Node(v)
+		for len(g.succ[cur]) == 1 {
+			next := g.succ[cur][0]
+			if len(g.pred[next]) != 1 {
+				break
+			}
+			s = append(s, next)
+			inStrand[next] = true
+			cur = next
+		}
+		strands = append(strands, s)
+	}
+	return strands
+}
+
+// WorkLawBound returns the Work Law lower bound on T_P (eq. 1): T1/P,
+// rounded up, for P processors.
+func WorkLawBound(work int64, p int) int64 {
+	if p <= 0 {
+		panic("dag: nonpositive processor count")
+	}
+	return (work + int64(p) - 1) / int64(p)
+}
+
+// SpanLawBound returns the Span Law lower bound on T_P (eq. 2): T∞.
+func SpanLawBound(span int64) int64 { return span }
+
+// SpeedupBound returns the upper bound on speedup for P processors implied
+// by both laws together: min(P, T1/T∞) (§2.3).
+func SpeedupBound(m Metrics, p int) float64 {
+	if p <= 0 {
+		panic("dag: nonpositive processor count")
+	}
+	if m.Parallelism < float64(p) {
+		return m.Parallelism
+	}
+	return float64(p)
+}

@@ -1,0 +1,396 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustAnalyze(t *testing.T, g *Dag) Metrics {
+	t.Helper()
+	m, err := g.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return m
+}
+
+func TestEmptyDag(t *testing.T) {
+	g := New()
+	m := mustAnalyze(t, g)
+	if m.Work != 0 || m.Span != 0 || m.Parallelism != 0 {
+		t.Fatalf("empty dag metrics = %+v", m)
+	}
+	p, err := g.CriticalPath()
+	if err != nil || p != nil {
+		t.Fatalf("CriticalPath on empty dag = %v, %v", p, err)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := New()
+	n := g.AddNode(7)
+	m := mustAnalyze(t, g)
+	if m.Work != 7 || m.Span != 7 || m.Parallelism != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	p, _ := g.CriticalPath()
+	if len(p) != 1 || p[0] != n {
+		t.Fatalf("CriticalPath = %v", p)
+	}
+}
+
+func TestChainAndFork(t *testing.T) {
+	// a -> b -> d ; a -> c -> d with weights 1,2,3,4.
+	g := New()
+	a, b, c, d := g.AddNode(1), g.AddNode(2), g.AddNode(3), g.AddNode(4)
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	m := mustAnalyze(t, g)
+	if m.Work != 10 {
+		t.Fatalf("Work = %d, want 10", m.Work)
+	}
+	if m.Span != 8 { // a(1) + c(3) + d(4)
+		t.Fatalf("Span = %d, want 8", m.Span)
+	}
+	path, _ := g.CriticalPath()
+	want := []Node{a, c, d}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Fatalf("CriticalPath = %v, want %v", path, want)
+	}
+	if !g.Precedes(a, d) || g.Precedes(d, a) {
+		t.Fatal("precedence a ≺ d violated")
+	}
+	if !g.Parallel(b, c) {
+		t.Fatal("b ‖ c expected")
+	}
+	if g.Parallel(a, a) {
+		t.Fatal("a vertex is not parallel with itself")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New()
+	a, b := g.AddNode(1), g.AddNode(1)
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := g.Analyze(); err != ErrCycle {
+		t.Fatalf("Analyze on cycle: err = %v, want ErrCycle", err)
+	}
+	if _, err := g.CriticalPath(); err != ErrCycle {
+		t.Fatalf("CriticalPath on cycle: err = %v, want ErrCycle", err)
+	}
+}
+
+// TestFig2 reproduces experiment E1: the paper's Figure 2 dag has work 18,
+// span 9 (hence parallelism 2), critical path 1≺2≺3≺6≺7≺8≺11≺12≺18, and
+// the stated precedence examples hold: 1≺2, 6≺12, 4‖9.
+func TestFig2(t *testing.T) {
+	g, nodes := Fig2()
+	if g.Len() != 18 {
+		t.Fatalf("Fig2 has %d vertices, want 18", g.Len())
+	}
+	m := mustAnalyze(t, g)
+	if m.Work != 18 {
+		t.Fatalf("work = %d, want 18", m.Work)
+	}
+	if m.Span != 9 {
+		t.Fatalf("span = %d, want 9", m.Span)
+	}
+	if m.Parallelism != 2 {
+		t.Fatalf("parallelism = %v, want 2", m.Parallelism)
+	}
+	if !g.Precedes(nodes[1], nodes[2]) {
+		t.Error("want 1 ≺ 2")
+	}
+	if !g.Precedes(nodes[6], nodes[12]) {
+		t.Error("want 6 ≺ 12")
+	}
+	if !g.Parallel(nodes[4], nodes[9]) {
+		t.Error("want 4 ‖ 9")
+	}
+	path, _ := g.CriticalPath()
+	wantLabels := []int{1, 2, 3, 6, 7, 8, 11, 12, 18}
+	if len(path) != len(wantLabels) {
+		t.Fatalf("critical path has %d vertices, want %d", len(path), len(wantLabels))
+	}
+	for i, label := range wantLabels {
+		if path[i] != nodes[label] {
+			t.Fatalf("critical path[%d] = node %v, want label %d", i, path[i], label)
+		}
+	}
+}
+
+func TestLawBounds(t *testing.T) {
+	m := Metrics{Work: 18, Span: 9, Parallelism: 2}
+	if got := WorkLawBound(m.Work, 4); got != 5 { // ceil(18/4)
+		t.Fatalf("WorkLawBound = %d, want 5", got)
+	}
+	if got := SpanLawBound(m.Span); got != 9 {
+		t.Fatalf("SpanLawBound = %d, want 9", got)
+	}
+	if got := SpeedupBound(m, 1); got != 1 {
+		t.Fatalf("SpeedupBound(P=1) = %v, want 1", got)
+	}
+	if got := SpeedupBound(m, 64); got != 2 {
+		t.Fatalf("SpeedupBound(P=64) = %v, want parallelism 2", got)
+	}
+}
+
+func TestStrandsChain(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode(1), g.AddNode(1), g.AddNode(1)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	s := g.Strands()
+	if len(s) != 1 || len(s[0]) != 3 {
+		t.Fatalf("Strands = %v, want one strand of 3", s)
+	}
+}
+
+func TestStrandsFig2(t *testing.T) {
+	g, _ := Fig2()
+	strands := g.Strands()
+	seen := make(map[Node]bool)
+	for _, s := range strands {
+		if len(s) == 0 {
+			t.Fatal("empty strand")
+		}
+		for _, v := range s {
+			if seen[v] {
+				t.Fatalf("vertex %v in two strands", v)
+			}
+			seen[v] = true
+		}
+		// Interior vertices must have in-degree and out-degree exactly 1.
+		for i, v := range s {
+			if i > 0 && len(g.Pred(v)) != 1 {
+				t.Fatalf("strand interior %v has in-degree %d", v, len(g.Pred(v)))
+			}
+			if i < len(s)-1 && len(g.Succ(v)) != 1 {
+				t.Fatalf("strand interior %v has out-degree %d", v, len(g.Succ(v)))
+			}
+		}
+	}
+	if len(seen) != g.Len() {
+		t.Fatalf("strands cover %d of %d vertices", len(seen), g.Len())
+	}
+}
+
+func TestBuilderSerialChain(t *testing.T) {
+	b := NewBuilder()
+	b.Step(3)
+	b.Step(4)
+	g := b.Finish()
+	m := mustAnalyze(t, g)
+	if m.Work != 7 || m.Span != 7 {
+		t.Fatalf("metrics = %+v, want work=span=7", m)
+	}
+}
+
+func TestBuilderSpawnSync(t *testing.T) {
+	// Parent: step(1), spawn{step(5)}, step(2), sync, step(1).
+	// Work = 9; span = 1 + max(5, 2) + 1 = 7.
+	b := NewBuilder()
+	b.Step(1)
+	b.Spawn()
+	b.Step(5)
+	b.Return()
+	b.Step(2)
+	b.Sync()
+	b.Step(1)
+	g := b.Finish()
+	m := mustAnalyze(t, g)
+	if m.Work != 9 {
+		t.Fatalf("Work = %d, want 9", m.Work)
+	}
+	if m.Span != 7 {
+		t.Fatalf("Span = %d, want 7", m.Span)
+	}
+}
+
+func TestBuilderImplicitSyncAtReturn(t *testing.T) {
+	// A spawned child that itself spawns and returns without explicit sync
+	// must still join its children before returning (§1: "every Cilk
+	// function syncs implicitly before it returns").
+	b := NewBuilder()
+	b.Step(1)
+	b.Spawn()
+	{
+		b.Step(1)
+		b.Spawn()
+		b.Step(10)
+		b.Return()
+		// no explicit Sync; Return joins the grandchild
+		b.Return()
+	}
+	b.Step(1)
+	b.Sync()
+	b.Step(1)
+	g := b.Finish()
+	m := mustAnalyze(t, g)
+	// Span: 1 (root) + child: 1 + grandchild 10 + join 0, then root tail 1 = 13.
+	if m.Span != 13 {
+		t.Fatalf("Span = %d, want 13", m.Span)
+	}
+	if m.Work != 14 {
+		t.Fatalf("Work = %d, want 14", m.Work)
+	}
+}
+
+func TestBuilderFibShape(t *testing.T) {
+	// fib-like recursion: each frame does unit work, spawns two children,
+	// syncs, unit work. Depth d. Work = 2*(2^(d+1)-1); span = 2*(d+1).
+	var rec func(b *Builder, d int)
+	rec = func(b *Builder, d int) {
+		b.Step(1)
+		if d > 0 {
+			b.Spawn()
+			rec(b, d-1)
+			b.Return()
+			b.Spawn()
+			rec(b, d-1)
+			b.Return()
+			b.Sync()
+		}
+		b.Step(1)
+	}
+	b := NewBuilder()
+	rec(b, 5)
+	g := b.Finish()
+	m := mustAnalyze(t, g)
+	wantWork := int64(2 * (1<<6 - 1)) // 2^6-1 frames, weight 2 each
+	if m.Work != wantWork {
+		t.Fatalf("Work = %d, want %d", m.Work, wantWork)
+	}
+	if m.Span != 12 {
+		t.Fatalf("Span = %d, want 12", m.Span)
+	}
+}
+
+// Property: for random series-parallel constructions, span ≤ work, and both
+// equal the serial execution time when there are no spawns.
+func TestQuickBuilderLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		var work int64
+		depth := 0
+		for op := 0; op < 60; op++ {
+			switch r := rng.Intn(4); {
+			case r == 0 && depth < 6:
+				b.Spawn()
+				depth++
+			case r == 1 && depth > 0:
+				b.Return()
+				depth--
+			case r == 2:
+				b.Sync()
+			default:
+				w := int64(rng.Intn(5))
+				b.Step(w)
+				work += w
+			}
+		}
+		for depth > 0 {
+			b.Return()
+			depth--
+		}
+		g := b.Finish()
+		m, err := g.Analyze()
+		if err != nil {
+			return false
+		}
+		return m.Work == work && m.Span <= m.Work && m.Span >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parallel is symmetric and Precedes is antisymmetric on random dags.
+func TestQuickPrecedenceRelations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		const n = 20
+		for i := 0; i < n; i++ {
+			g.AddNode(1)
+		}
+		// Random edges only from lower to higher handles: guaranteed acyclic.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(5) == 0 {
+					g.AddEdge(Node(i), Node(j))
+				}
+			}
+		}
+		for trial := 0; trial < 40; trial++ {
+			x, y := Node(rng.Intn(n)), Node(rng.Intn(n))
+			if g.Parallel(x, y) != g.Parallel(y, x) {
+				return false
+			}
+			if x != y && g.Precedes(x, y) && g.Precedes(y, x) {
+				return false
+			}
+			if x != y && !g.Parallel(x, y) && !g.Precedes(x, y) && !g.Precedes(y, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnalyzeWide(b *testing.B) {
+	g := New()
+	const n = 10000
+	root := g.AddNode(1)
+	sink := g.AddNode(1)
+	for i := 0; i < n; i++ {
+		v := g.AddNode(1)
+		g.AddEdge(root, v)
+		g.AddEdge(v, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, nodes := Fig2()
+	labels := make(map[Node]string, len(nodes))
+	for paperLabel, n := range nodes {
+		labels[n] = fmt.Sprintf("%d", paperLabel)
+	}
+	out := g.DOT("fig2", labels)
+	for _, want := range []string{"digraph \"fig2\"", "->", "penwidth=2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// All 18 nodes and 20 edges present.
+	if got := strings.Count(out, "->"); got != 20 {
+		t.Fatalf("DOT has %d edges, want 20", got)
+	}
+}
+
+func TestDOTWeighted(t *testing.T) {
+	g := New()
+	a, b := g.AddNode(3), g.AddNode(5)
+	g.AddEdge(a, b)
+	out := g.DOT("w", nil)
+	if !strings.Contains(out, "(3)") || !strings.Contains(out, "(5)") {
+		t.Fatalf("weighted DOT must annotate weights:\n%s", out)
+	}
+}

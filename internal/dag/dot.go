@@ -1,0 +1,68 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the dag in Graphviz dot format, in the visual style of the
+// paper's Figure 2: circles for instructions, labeled with the node handle
+// (or the provided labels) and, when weights are not all 1, the weight.
+// Nodes on the critical path are drawn bold, matching how span discussions
+// highlight it.
+func (g *Dag) DOT(name string, labels map[Node]string) string {
+	onPath := make(map[Node]bool)
+	if path, err := g.CriticalPath(); err == nil {
+		for _, v := range path {
+			onPath[v] = true
+		}
+	}
+	uniformWeight := true
+	for v := 0; v < g.Len(); v++ {
+		if g.weight[v] != 1 {
+			uniformWeight = false
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=11];\n")
+	for v := 0; v < g.Len(); v++ {
+		label, ok := labels[Node(v)]
+		if !ok {
+			label = fmt.Sprintf("%d", v)
+		}
+		if !uniformWeight {
+			label = fmt.Sprintf("%s\\n(%d)", label, g.weight[v])
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if onPath[Node(v)] {
+			attrs += ", penwidth=2.5"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", v, attrs)
+	}
+	// Deterministic edge order.
+	type edge struct{ u, v Node }
+	var edges []edge
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.succ[u] {
+			edges = append(edges, edge{Node(u), v})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	for _, e := range edges {
+		style := ""
+		if onPath[e.u] && onPath[e.v] {
+			style = " [penwidth=2.0]"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.u, e.v, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package dag
+
+// Fig2 constructs the paper's Figure 2 example dag: 18 unit-weight
+// instructions whose execution has work 18, span 9 and hence parallelism 2.
+//
+// The paper's prose pins down the figure's essential structure without
+// reprinting every edge: 18 vertices of unit work; the critical path
+// 1 ≺ 2 ≺ 3 ≺ 6 ≺ 7 ≺ 8 ≺ 11 ≺ 12 ≺ 18 of length 9; and the example
+// relations 1 ≺ 2, 6 ≺ 12 and 4 ‖ 9. This constructor builds a fork-join
+// dag satisfying all of those properties: a root procedure A with
+// instructions {1,2,3,6,13,14,15,18} that spawns procedure B = {4,5,16,17}
+// at instruction 3, spawns procedure C = {7,8,11,12} at instruction 6,
+// spawns procedure E = {9,10} at instruction 13, and syncs at
+// instruction 18.
+//
+// The returned map translates the paper's 1-based vertex labels to node
+// handles, so tests can write nodes[1], nodes[12], and so on.
+func Fig2() (*Dag, map[int]Node) {
+	g := New()
+	nodes := make(map[int]Node, 18)
+	for label := 1; label <= 18; label++ {
+		nodes[label] = g.AddNode(1)
+	}
+	edges := [][2]int{
+		// Procedure A's serial spine, with spawns at 3, 6 and 13.
+		{1, 2}, {2, 3},
+		{3, 4}, {3, 6}, // spawn B; continuation
+		{6, 7}, {6, 13}, // spawn C; continuation
+		{13, 9}, {13, 14}, // spawn E; continuation
+		{14, 15}, {15, 18},
+		// Procedure B.
+		{4, 5}, {5, 16}, {16, 17}, {17, 18},
+		// Procedure C (carries the critical path).
+		{7, 8}, {8, 11}, {11, 12}, {12, 18},
+		// Procedure E.
+		{9, 10}, {10, 18},
+	}
+	for _, e := range edges {
+		g.AddEdge(nodes[e[0]], nodes[e[1]])
+	}
+	return g, nodes
+}

@@ -1,0 +1,150 @@
+package dag
+
+// Builder incrementally constructs the dag of a fork-join computation by
+// replaying its spawn/sync structure, following §2's construction rules:
+//
+//   - a spawn creates two dependency edges emanating from the instruction
+//     immediately before it — one to the first instruction of the spawned
+//     function and one to the first instruction after the spawn; and
+//   - a sync creates dependency edges from the final instruction of each
+//     spawned function to the instruction immediately after the sync.
+//
+// Every function syncs implicitly before it returns. The builder enforces
+// this: Return performs an implicit Sync, materializing a zero-weight join
+// vertex when the sync is not followed by further work in the frame.
+type Builder struct {
+	g     *Dag
+	stack []builderFrame
+}
+
+type builderFrame struct {
+	cur      Node   // last instruction executed in this frame; -1 if none
+	spawnCur Node   // parent instruction the frame's first node hangs from; -1 at root
+	pending  []Node // final instructions of spawned, un-synced children
+	joinNext []Node // child ends to wire into the next instruction (set by Sync)
+	called   bool   // frame entered via Call rather than Spawn
+}
+
+// NewBuilder returns a builder positioned inside the root function.
+func NewBuilder() *Builder {
+	return &Builder{
+		g:     New(),
+		stack: []builderFrame{{cur: -1, spawnCur: -1}},
+	}
+}
+
+func (b *Builder) top() *builderFrame { return &b.stack[len(b.stack)-1] }
+
+// Step appends one instruction of the given weight to the current strand and
+// returns its node.
+func (b *Builder) Step(weight int64) Node {
+	f := b.top()
+	v := b.g.AddNode(weight)
+	if f.cur != -1 {
+		b.g.AddEdge(f.cur, v)
+	} else if f.spawnCur != -1 {
+		b.g.AddEdge(f.spawnCur, v)
+	}
+	for _, e := range f.joinNext {
+		b.g.AddEdge(e, v)
+	}
+	f.joinNext = f.joinNext[:0]
+	f.cur = v
+	return v
+}
+
+// childAnchor returns the instruction a child frame entered right now hangs
+// from: the parent's last instruction, or — when the parent has none yet —
+// the instruction the parent itself hangs from. If a sync is pending (its
+// join edges not yet wired to an instruction), a zero-weight instruction is
+// materialized first, because the dag rule routes the synced children's
+// edges to "the instruction immediately after the sync", which includes the
+// child about to be entered.
+func (b *Builder) childAnchor() Node {
+	f := b.top()
+	if len(f.joinNext) > 0 {
+		return b.Step(0)
+	}
+	if f.cur != -1 {
+		return f.cur
+	}
+	return f.spawnCur
+}
+
+// Spawn enters a newly spawned child function. Subsequent Steps belong to the
+// child until the matching Return. The parent's continuation resumes after
+// Return, in parallel with the child per the dag construction rule.
+func (b *Builder) Spawn() {
+	anchor := b.childAnchor()
+	b.stack = append(b.stack, builderFrame{cur: -1, spawnCur: anchor})
+}
+
+// Call enters a called (not spawned) child function: the child executes
+// serially within the caller's strand but opens its own sync scope. Use
+// ReturnCall to leave it.
+func (b *Builder) Call() {
+	anchor := b.childAnchor()
+	b.stack = append(b.stack, builderFrame{cur: -1, spawnCur: anchor, called: true})
+}
+
+// ReturnCall leaves a called function, applying its implicit sync. The
+// caller's strand continues from the called frame's final instruction.
+func (b *Builder) ReturnCall() {
+	if len(b.stack) == 1 || !b.top().called {
+		panic("dag: ReturnCall without matching Call")
+	}
+	end := b.closeFrame()
+	b.stack = b.stack[:len(b.stack)-1]
+	b.top().cur = end
+}
+
+// Sync joins all children spawned by the current frame since the previous
+// sync: their final instructions gain edges to the instruction immediately
+// after the sync (the next Step, or the implicit join vertex at Return).
+func (b *Builder) Sync() {
+	f := b.top()
+	f.joinNext = append(f.joinNext, f.pending...)
+	f.pending = f.pending[:0]
+}
+
+// Return leaves the current spawned function, performing the implicit sync,
+// and records the frame's final instruction as a pending child of the parent.
+// Return panics if called on the root frame; use Finish instead.
+func (b *Builder) Return() {
+	if len(b.stack) == 1 {
+		panic("dag: Return on root frame; call Finish")
+	}
+	if b.top().called {
+		panic("dag: Return on a called frame; use ReturnCall")
+	}
+	end := b.closeFrame()
+	b.stack = b.stack[:len(b.stack)-1]
+	parent := b.top()
+	parent.pending = append(parent.pending, end)
+}
+
+// closeFrame applies the implicit sync and returns the frame's final node,
+// materializing a zero-weight join vertex when needed.
+func (b *Builder) closeFrame() Node {
+	b.Sync()
+	f := b.top()
+	if len(f.joinNext) > 0 || f.cur == -1 {
+		return b.Step(0)
+	}
+	return f.cur
+}
+
+// Graph exposes the dag under construction for live queries (precedence
+// checks against already-built vertices). The graph remains owned by the
+// builder; callers must not add nodes or edges through it.
+func (b *Builder) Graph() *Dag { return b.g }
+
+// Finish completes the root frame and returns the constructed dag. The
+// builder must not be used afterwards.
+func (b *Builder) Finish() *Dag {
+	if len(b.stack) != 1 {
+		panic("dag: Finish with unreturned spawned frames")
+	}
+	b.closeFrame()
+	return b.g
+}

@@ -1,0 +1,133 @@
+// Package deque implements the Chase–Lev lock-free work-stealing deque.
+//
+// The deque is the central data structure of the Cilk++ runtime (§3.2 of the
+// paper): each worker owns one deque and treats it as a stack, pushing and
+// popping spawned work at the bottom, while thieves steal single items from
+// the top. The owner's fast path is a pair of unsynchronized-looking atomic
+// loads and stores; synchronization is paid only when the deque is nearly
+// empty or when a thief interferes, which mirrors the paper's observation
+// that "all communication and synchronization is incurred only when a worker
+// runs out of work".
+//
+// The implementation follows Chase and Lev, "Dynamic circular work-stealing
+// deque" (SPAA 2005), with the memory-order fixes from Lê et al. (PPoPP
+// 2013), expressed with Go's sequentially-consistent sync/atomic operations.
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// minCapacity is the initial ring capacity. It must be a power of two.
+const minCapacity = 64
+
+// ring is an immutable-capacity circular buffer. Grown copies share no
+// storage with their predecessor, so thieves racing on an old ring still read
+// valid (if stale) values; staleness is rejected by the CAS on top.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{
+		mask: capacity - 1,
+		buf:  make([]atomic.Pointer[T], capacity),
+	}
+}
+
+func (r *ring[T]) load(i int64) *T     { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) store(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+
+func (r *ring[T]) grow(bottom, top int64) *ring[T] {
+	next := newRing[T]((r.mask + 1) * 2)
+	for i := top; i < bottom; i++ {
+		next.store(i, r.load(i))
+	}
+	return next
+}
+
+// Deque is a dynamically-sized work-stealing deque of *T.
+//
+// Exactly one goroutine, the owner, may call PushBottom and PopBottom.
+// Any goroutine may call Steal. The zero value is not usable; construct
+// with New.
+type Deque[T any] struct {
+	top    atomic.Int64 // next index to steal
+	bottom atomic.Int64 // next index to push
+	ring   atomic.Pointer[ring[T]]
+}
+
+// New returns an empty deque.
+func New[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.ring.Store(newRing[T](minCapacity))
+	return d
+}
+
+// PushBottom pushes v onto the bottom (owner end) of the deque.
+// Only the owner may call it.
+func (d *Deque[T]) PushBottom(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t > r.mask { // full: grow
+		r = r.grow(b, t)
+		d.ring.Store(r)
+	}
+	r.store(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom pops the most recently pushed item from the bottom. It returns
+// nil if the deque is empty or the last item was lost to a concurrent thief.
+// Only the owner may call it.
+func (d *Deque[T]) PopBottom() *T {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	switch {
+	case t > b: // empty: restore
+		d.bottom.Store(b + 1)
+		return nil
+	case t == b: // last element: race against thieves via CAS on top
+		v := r.load(b)
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = nil // a thief got it
+		}
+		d.bottom.Store(b + 1)
+		return v
+	default:
+		return r.load(b)
+	}
+}
+
+// Steal removes and returns the oldest item from the top (thief end), or nil
+// if the deque is empty or the steal lost a race. Any goroutine may call it.
+func (d *Deque[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.ring.Load()
+	v := r.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil // lost the race; caller may retry elsewhere
+	}
+	return v
+}
+
+// Size reports an instantaneous estimate of the number of items. It is exact
+// when called by the owner with no concurrent thieves.
+func (d *Deque[T]) Size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the deque appeared empty at some instant.
+func (d *Deque[T]) Empty() bool { return d.Size() == 0 }

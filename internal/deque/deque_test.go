@@ -1,0 +1,364 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	d := New[int]()
+	if got := d.PopBottom(); got != nil {
+		t.Fatalf("PopBottom on empty = %v, want nil", got)
+	}
+	if got := d.Steal(); got != nil {
+		t.Fatalf("Steal on empty = %v, want nil", got)
+	}
+	if !d.Empty() {
+		t.Fatal("Empty() = false on fresh deque")
+	}
+}
+
+func TestLIFOOwner(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	if d.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", d.Size())
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("PopBottom = %v, want %d", got, vals[i])
+		}
+	}
+	if d.PopBottom() != nil {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestFIFOThief(t *testing.T) {
+	d := New[int]()
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := range vals {
+		got := d.Steal()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Steal #%d = %v, want %d", i, got, vals[i])
+		}
+	}
+	if d.Steal() != nil {
+		t.Fatal("Steal on drained deque should return nil")
+	}
+}
+
+func TestMixedEnds(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	if got := d.Steal(); *got != 1 {
+		t.Fatalf("Steal = %d, want 1", *got)
+	}
+	if got := d.PopBottom(); *got != 4 {
+		t.Fatalf("PopBottom = %d, want 4", *got)
+	}
+	if got := d.Steal(); *got != 2 {
+		t.Fatalf("Steal = %d, want 2", *got)
+	}
+	if got := d.PopBottom(); *got != 3 {
+		t.Fatalf("PopBottom = %d, want 3", *got)
+	}
+	if d.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", d.Size())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int]()
+	const n = 10 * minCapacity
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Size() != n {
+		t.Fatalf("Size = %d, want %d", d.Size(), n)
+	}
+	// Steal half from the top (oldest first), pop the rest from the bottom.
+	for i := 0; i < n/2; i++ {
+		got := d.Steal()
+		if got == nil || *got != i {
+			t.Fatalf("Steal #%d = %v, want %d", i, got, i)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		got := d.PopBottom()
+		if got == nil || *got != i {
+			t.Fatalf("PopBottom = %v, want %d", got, i)
+		}
+	}
+}
+
+func TestGrowthInterleaved(t *testing.T) {
+	// Steals advance top so the ring wraps; growth must copy the live window.
+	d := New[int]()
+	vals := make([]int, 4*minCapacity)
+	next := 0
+	for round := 0; round < 8; round++ {
+		for i := 0; i < minCapacity/2; i++ {
+			vals[next] = next
+			d.PushBottom(&vals[next])
+			next++
+		}
+		for i := 0; i < minCapacity/4; i++ {
+			if got := d.Steal(); got == nil {
+				t.Fatal("unexpected empty steal")
+			}
+		}
+	}
+	// Drain and check the remaining items are a contiguous suffix in LIFO order.
+	want := next - 1
+	for {
+		got := d.PopBottom()
+		if got == nil {
+			break
+		}
+		if *got != want {
+			t.Fatalf("PopBottom = %d, want %d", *got, want)
+		}
+		want--
+	}
+}
+
+// TestConcurrentSum pushes known work from the owner while thieves steal;
+// every item must be consumed exactly once.
+func TestConcurrentSum(t *testing.T) {
+	const (
+		nItems   = 100000
+		nThieves = 4
+	)
+	d := New[int]()
+	vals := make([]int, nItems)
+	var stolen, popped atomic.Int64
+	var sum atomic.Int64
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < nThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v := d.Steal(); v != nil {
+					sum.Add(int64(*v))
+					stolen.Add(1)
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after the owner stops.
+					for {
+						v := d.Steal()
+						if v == nil {
+							return
+						}
+						sum.Add(int64(*v))
+						stolen.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push everything, popping occasionally.
+	for i := 0; i < nItems; i++ {
+		vals[i] = i + 1
+		d.PushBottom(&vals[i])
+		if i%3 == 0 {
+			if v := d.PopBottom(); v != nil {
+				sum.Add(int64(*v))
+				popped.Add(1)
+			}
+		}
+	}
+	// Owner drains its own end too.
+	for {
+		v := d.PopBottom()
+		if v == nil {
+			break
+		}
+		sum.Add(int64(*v))
+		popped.Add(1)
+	}
+	close(done)
+	wg.Wait()
+
+	// A PopBottom/Steal race can leave one item claimed by the thief after
+	// the owner's drain saw empty; do a final sweep.
+	for {
+		v := d.Steal()
+		if v == nil {
+			break
+		}
+		sum.Add(int64(*v))
+		stolen.Add(1)
+	}
+
+	wantSum := int64(nItems) * int64(nItems+1) / 2
+	if sum.Load() != wantSum {
+		t.Fatalf("sum = %d, want %d (stolen=%d popped=%d)",
+			sum.Load(), wantSum, stolen.Load(), popped.Load())
+	}
+	if stolen.Load()+popped.Load() != nItems {
+		t.Fatalf("consumed %d items, want %d", stolen.Load()+popped.Load(), nItems)
+	}
+}
+
+// TestConcurrentNoDuplicates checks mutual exclusion between PopBottom and
+// Steal on the last element: each item is observed exactly once.
+func TestConcurrentNoDuplicates(t *testing.T) {
+	const rounds = 20000
+	d := New[int]()
+	seen := make([]atomic.Int32, rounds)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v := d.Steal(); v != nil {
+					seen[*v].Add(1)
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	vals := make([]int, rounds)
+	for i := 0; i < rounds; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if v := d.PopBottom(); v != nil {
+			seen[*v].Add(1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v := d.Steal()
+		if v == nil {
+			break
+		}
+		seen[*v].Add(1)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}
+
+// Property: for any sequence of owner pushes and pops (no thieves), the deque
+// behaves exactly like a stack.
+func TestQuickStackEquivalence(t *testing.T) {
+	f := func(ops []bool) bool {
+		d := New[int]()
+		var model []int
+		vals := make([]int, 0, len(ops))
+		for i, push := range ops {
+			if push {
+				vals = append(vals, i)
+				d.PushBottom(&vals[len(vals)-1])
+				model = append(model, i)
+			} else {
+				got := d.PopBottom()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if got == nil || *got != want {
+					return false
+				}
+			}
+		}
+		return d.Size() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: steals see FIFO order of the surviving prefix for any push count.
+func TestQuickStealOrder(t *testing.T) {
+	f := func(n uint8) bool {
+		d := New[int]()
+		vals := make([]int, int(n))
+		for i := range vals {
+			vals[i] = i
+			d.PushBottom(&vals[i])
+		}
+		for i := 0; i < int(n); i++ {
+			got := d.Steal()
+			if got == nil || *got != i {
+				return false
+			}
+		}
+		return d.Steal() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int]()
+	v := 42
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&v)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealContended(b *testing.B) {
+	d := New[int]()
+	v := 7
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Steal()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&v)
+		d.PopBottom()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

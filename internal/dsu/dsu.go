@@ -1,0 +1,65 @@
+// Package dsu provides a disjoint-set union (union-find) forest with
+// union by rank and path compression.
+//
+// It is the substrate of the SP-bags race-detection algorithm (§4 of the
+// paper): procedure identifiers are grouped into S-bags and P-bags, and every
+// shadow-memory check performs a Find to discover which bag the recorded
+// accessor currently belongs to. With union by rank and path compression the
+// amortized cost per operation is O(α(n)), which is what makes Cilkscreen's
+// "nearly linear time in the serial execution" guarantee possible.
+//
+// Elements are dense integer handles allocated by MakeSet, so the forest is
+// backed by flat slices rather than pointer nodes.
+package dsu
+
+// Forest is a growable disjoint-set forest. The zero value is an empty
+// forest ready for use.
+type Forest struct {
+	parent []int32
+	rank   []int8
+}
+
+// MakeSet allocates a fresh singleton set and returns its element handle.
+func (f *Forest) MakeSet() int32 {
+	x := int32(len(f.parent))
+	f.parent = append(f.parent, x)
+	f.rank = append(f.rank, 0)
+	return x
+}
+
+// Len reports the number of elements ever created.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Find returns the canonical representative of x's set, compressing the
+// path from x to the root.
+func (f *Forest) Find(x int32) int32 {
+	root := x
+	for f.parent[root] != root {
+		root = f.parent[root]
+	}
+	for f.parent[x] != root {
+		f.parent[x], x = root, f.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and returns the representative of
+// the merged set. If they are already one set, that set's representative is
+// returned unchanged.
+func (f *Forest) Union(x, y int32) int32 {
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		return rx
+	}
+	switch {
+	case f.rank[rx] < f.rank[ry]:
+		rx, ry = ry, rx
+	case f.rank[rx] == f.rank[ry]:
+		f.rank[rx]++
+	}
+	f.parent[ry] = rx
+	return rx
+}
+
+// Same reports whether x and y are in the same set.
+func (f *Forest) Same(x, y int32) bool { return f.Find(x) == f.Find(y) }

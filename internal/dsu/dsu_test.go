@@ -1,0 +1,127 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	var f Forest
+	a, b, c := f.MakeSet(), f.MakeSet(), f.MakeSet()
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	for _, x := range []int32{a, b, c} {
+		if f.Find(x) != x {
+			t.Fatalf("Find(%d) = %d, want itself", x, f.Find(x))
+		}
+	}
+	if f.Same(a, b) || f.Same(b, c) || f.Same(a, c) {
+		t.Fatal("fresh singletons must be disjoint")
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	var f Forest
+	a, b, c, d := f.MakeSet(), f.MakeSet(), f.MakeSet(), f.MakeSet()
+	f.Union(a, b)
+	if !f.Same(a, b) {
+		t.Fatal("a and b should be joined")
+	}
+	if f.Same(a, c) {
+		t.Fatal("a and c should be disjoint")
+	}
+	f.Union(c, d)
+	f.Union(b, c)
+	for _, x := range []int32{b, c, d} {
+		if !f.Same(a, x) {
+			t.Fatalf("%d should be joined with a", x)
+		}
+	}
+}
+
+func TestUnionIdempotent(t *testing.T) {
+	var f Forest
+	a, b := f.MakeSet(), f.MakeSet()
+	r1 := f.Union(a, b)
+	r2 := f.Union(a, b)
+	r3 := f.Union(b, a)
+	if r1 != r2 || r2 != r3 {
+		t.Fatalf("repeated unions changed representative: %d %d %d", r1, r2, r3)
+	}
+}
+
+func TestRepresentativeStableAfterFind(t *testing.T) {
+	var f Forest
+	elems := make([]int32, 100)
+	for i := range elems {
+		elems[i] = f.MakeSet()
+	}
+	for i := 1; i < len(elems); i++ {
+		f.Union(elems[0], elems[i])
+	}
+	rep := f.Find(elems[0])
+	for _, x := range elems {
+		if f.Find(x) != rep {
+			t.Fatalf("Find(%d) = %d, want %d", x, f.Find(x), rep)
+		}
+	}
+}
+
+// Property: union-find agrees with a naive label-propagation model under a
+// random operation sequence.
+func TestQuickAgainstNaiveModel(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 24
+		var f Forest
+		label := make([]int, n)
+		for i := 0; i < n; i++ {
+			f.MakeSet()
+			label[i] = i
+		}
+		for op := 0; op < int(nOps); op++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				f.Union(a, b)
+				la, lb := label[a], label[b]
+				if la != lb {
+					for i := range label {
+						if label[i] == lb {
+							label[i] = la
+						}
+					}
+				}
+			} else if f.Same(a, b) != (label[a] == label[b]) {
+				return false
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			for j := int32(0); j < n; j++ {
+				if f.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	var f Forest
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		f.MakeSet()
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := int32(rng.Intn(n)), int32(rng.Intn(n))
+		f.Union(a, c)
+		f.Find(int32(rng.Intn(n)))
+	}
+}

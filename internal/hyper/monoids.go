@@ -1,0 +1,264 @@
+package hyper
+
+import (
+	"cilkgo/internal/sched"
+)
+
+// Number is the constraint for arithmetic reducers (Cilk++'s opadd family).
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Adder is the opadd reducer: a sum over +.
+type Adder[T Number] struct{ *Reducer[T] }
+
+// NewAdder returns an addition reducer starting from zero.
+func NewAdder[T Number]() Adder[T] {
+	return Adder[T]{New[T](FuncMonoid(
+		func() T { var z T; return z },
+		func(l, r T) T { return l + r },
+	))}
+}
+
+// Add adds x to the calling strand's view.
+func (a Adder[T]) Add(c *sched.Context, x T) { *a.View(c) += x }
+
+// ListAppend is the reducer_list_append hyperobject from §5 and Fig. 7:
+// strands push elements onto private lists, and joins concatenate them so
+// the final list matches the serial execution's order exactly.
+type ListAppend[T any] struct{ *Reducer[[]T] }
+
+// NewListAppend returns a list-append reducer.
+func NewListAppend[T any]() ListAppend[T] {
+	return ListAppend[T]{New[[]T](FuncMonoid(
+		func() []T { return nil },
+		func(l, r []T) []T { return append(l, r...) },
+	))}
+}
+
+// PushBack appends x to the calling strand's view of the list.
+func (l ListAppend[T]) PushBack(c *sched.Context, x T) {
+	v := l.View(c)
+	*v = append(*v, x)
+}
+
+// MaxIndex is the reducer_max_index hyperobject: it tracks the maximum
+// value seen and the index at which it occurred. The serial fold order
+// makes ties resolve to the earliest index in serial order.
+type MaxIndex[T Number] struct{ *Reducer[maxIndexState[T]] }
+
+type maxIndexState[T Number] struct {
+	val   T
+	index int
+	ok    bool
+}
+
+// NewMaxIndex returns a max-with-index reducer.
+func NewMaxIndex[T Number]() MaxIndex[T] {
+	return MaxIndex[T]{New[maxIndexState[T]](FuncMonoid(
+		func() maxIndexState[T] { return maxIndexState[T]{} },
+		func(l, r maxIndexState[T]) maxIndexState[T] {
+			switch {
+			case !l.ok:
+				return r
+			case !r.ok:
+				return l
+			case r.val > l.val: // strict: ties keep the serially earlier index
+				return r
+			default:
+				return l
+			}
+		},
+	))}
+}
+
+// Update offers (val, index) to the calling strand's view.
+func (m MaxIndex[T]) Update(c *sched.Context, val T, index int) {
+	v := m.View(c)
+	if !v.ok || val > v.val {
+		*v = maxIndexState[T]{val: val, index: index, ok: true}
+	}
+}
+
+// Max returns the final maximum value, its index, and whether any value was
+// offered. Call after the computation completes.
+func (m MaxIndex[T]) Max() (val T, index int, ok bool) {
+	s := m.Value()
+	return s.val, s.index, s.ok
+}
+
+// MinIndex tracks the minimum value and its index, symmetric to MaxIndex.
+type MinIndex[T Number] struct{ *Reducer[minIndexState[T]] }
+
+type minIndexState[T Number] struct {
+	val   T
+	index int
+	ok    bool
+}
+
+// NewMinIndex returns a min-with-index reducer.
+func NewMinIndex[T Number]() MinIndex[T] {
+	return MinIndex[T]{New[minIndexState[T]](FuncMonoid(
+		func() minIndexState[T] { return minIndexState[T]{} },
+		func(l, r minIndexState[T]) minIndexState[T] {
+			switch {
+			case !l.ok:
+				return r
+			case !r.ok:
+				return l
+			case r.val < l.val:
+				return r
+			default:
+				return l
+			}
+		},
+	))}
+}
+
+// Update offers (val, index) to the calling strand's view.
+func (m MinIndex[T]) Update(c *sched.Context, val T, index int) {
+	v := m.View(c)
+	if !v.ok || val < v.val {
+		*v = minIndexState[T]{val: val, index: index, ok: true}
+	}
+}
+
+// Min returns the final minimum value, its index, and whether any value was
+// offered.
+func (m MinIndex[T]) Min() (val T, index int, ok bool) {
+	s := m.Value()
+	return s.val, s.index, s.ok
+}
+
+// String is the reducer_basic_string hyperobject: strands append to private
+// byte buffers and joins concatenate, reproducing the serial string.
+type String struct{ *Reducer[[]byte] }
+
+// NewString returns a string-append reducer.
+func NewString() String {
+	return String{New[[]byte](FuncMonoid(
+		func() []byte { return nil },
+		func(l, r []byte) []byte { return append(l, r...) },
+	))}
+}
+
+// Append appends s to the calling strand's view.
+func (s String) Append(c *sched.Context, str string) {
+	v := s.View(c)
+	*v = append(*v, str...)
+}
+
+// String returns the final concatenated string.
+func (s String) String() string { return string(s.Value()) }
+
+// Bits is the constraint for the bitwise reducers (opand, opor, opxor).
+type Bits interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// Ander is the opand reducer: bitwise AND with all-ones identity.
+type Ander[T Bits] struct{ *Reducer[T] }
+
+// NewAnder returns a bitwise-AND reducer.
+func NewAnder[T Bits]() Ander[T] {
+	return Ander[T]{New[T](FuncMonoid(
+		func() T { var z T; return ^z },
+		func(l, r T) T { return l & r },
+	))}
+}
+
+// And folds x into the calling strand's view.
+func (a Ander[T]) And(c *sched.Context, x T) { *a.View(c) &= x }
+
+// Orer is the opor reducer: bitwise OR with zero identity.
+type Orer[T Bits] struct{ *Reducer[T] }
+
+// NewOrer returns a bitwise-OR reducer.
+func NewOrer[T Bits]() Orer[T] {
+	return Orer[T]{New[T](FuncMonoid(
+		func() T { var z T; return z },
+		func(l, r T) T { return l | r },
+	))}
+}
+
+// Or folds x into the calling strand's view.
+func (o Orer[T]) Or(c *sched.Context, x T) { *o.View(c) |= x }
+
+// Xorer is the opxor reducer: bitwise XOR with zero identity.
+type Xorer[T Bits] struct{ *Reducer[T] }
+
+// NewXorer returns a bitwise-XOR reducer.
+func NewXorer[T Bits]() Xorer[T] {
+	return Xorer[T]{New[T](FuncMonoid(
+		func() T { var z T; return z },
+		func(l, r T) T { return l ^ r },
+	))}
+}
+
+// Xor folds x into the calling strand's view.
+func (x Xorer[T]) Xor(c *sched.Context, v T) { *x.View(c) ^= v }
+
+// MapUnion is a map-union reducer: per-strand maps merged key-by-key with a
+// user combine for colliding keys (the left argument is serially earlier).
+type MapUnion[K comparable, V any] struct{ *Reducer[map[K]V] }
+
+// NewMapUnion returns a map-union reducer. combineValues resolves key
+// collisions; its left argument is the serially earlier value.
+func NewMapUnion[K comparable, V any](combineValues func(left, right V) V) MapUnion[K, V] {
+	return MapUnion[K, V]{New[map[K]V](FuncMonoid(
+		func() map[K]V { return nil },
+		func(l, r map[K]V) map[K]V {
+			if l == nil {
+				return r
+			}
+			for k, rv := range r {
+				if lv, ok := l[k]; ok {
+					l[k] = combineValues(lv, rv)
+				} else {
+					l[k] = rv
+				}
+			}
+			return l
+		},
+	))}
+}
+
+// Set records key → value in the calling strand's view, overwriting any
+// value this strand recorded earlier.
+func (m MapUnion[K, V]) Set(c *sched.Context, key K, value V) {
+	v := m.View(c)
+	if *v == nil {
+		*v = make(map[K]V)
+	}
+	(*v)[key] = value
+}
+
+// Merge folds value into the strand's view entry for key using combine.
+func (m MapUnion[K, V]) Merge(c *sched.Context, key K, value V, combine func(old, new V) V) {
+	v := m.View(c)
+	if *v == nil {
+		*v = make(map[K]V)
+	}
+	if old, ok := (*v)[key]; ok {
+		(*v)[key] = combine(old, value)
+	} else {
+		(*v)[key] = value
+	}
+}
+
+// Holder is the holder hyperobject: a per-strand scratch value with no
+// meaningful combine. It gives each strand isolated temporary storage (the
+// classic use is replacing a global scratch buffer); when strands join, one
+// of the views survives arbitrarily (we keep the serially earlier one).
+type Holder[T any] struct{ *Reducer[T] }
+
+// NewHolder returns a holder whose fresh views are produced by makeView.
+func NewHolder[T any](makeView func() T) Holder[T] {
+	return Holder[T]{New[T](FuncMonoid(
+		makeView,
+		func(l, _ T) T { return l },
+	))}
+}

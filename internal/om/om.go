@@ -1,0 +1,150 @@
+// Package om implements an order-maintenance list: a data structure
+// supporting InsertAfter and O(1) order queries ("does a precede b?") with
+// amortized O(log n) insertion.
+//
+// It is the substrate of the SP-order algorithm of Bender, Fineman, Gilbert
+// and Leiserson ("On-the-fly maintenance of series-parallel relationships
+// in fork-join multithreaded programs", SPAA 2004) — reference [2] of the
+// paper, one of the provably good algorithms Cilkscreen is built on (§4).
+//
+// The implementation is the classic tag-based scheme: each node carries a
+// 64-bit tag; order queries compare tags; insertion bisects the gap between
+// neighbors, and when a gap is exhausted the smallest enclosing dyadic tag
+// range whose density is below a geometrically decaying threshold is
+// relabeled uniformly, which yields the amortized logarithmic bound.
+package om
+
+// Node is an element of an order-maintenance list. Nodes are created by
+// List.InsertAfter and are only meaningful within their list.
+type Node struct {
+	tag        uint64
+	prev, next *Node
+}
+
+// List is an order-maintenance list. The zero value is not usable; call
+// New, which returns the list's base node.
+type List struct {
+	head *Node // sentinel with the minimum tag
+	size int
+}
+
+// tagSpace is the number of usable tag bits; the top bit stays clear so
+// arithmetic cannot overflow.
+const tagSpace = 62
+
+// overflowT is the density-threshold decay constant (1 < T < 2). A dyadic
+// range of size 2^i may hold at most (2/T)^i · baseCapacity nodes before it
+// is considered overflowing.
+const overflowT = 1.5
+
+// New creates a list containing only the base sentinel node, which precedes
+// every other node, and returns the list together with that node.
+func New() (*List, *Node) {
+	head := &Node{tag: 0}
+	return &List{head: head, size: 1}, head
+}
+
+// Len reports the number of nodes, including the base node.
+func (l *List) Len() int { return l.size }
+
+// Before reports whether a precedes b in the list order. Both nodes must
+// belong to this list; a node does not precede itself.
+func (l *List) Before(a, b *Node) bool { return a.tag < b.tag }
+
+// InsertAfter creates a new node immediately after x and returns it.
+func (l *List) InsertAfter(x *Node) *Node {
+	n := &Node{}
+	l.size++
+	next := x.next
+	n.prev, n.next = x, next
+	x.next = n
+	if next != nil {
+		next.prev = n
+	}
+	l.assignTag(n)
+	return n
+}
+
+// assignTag gives n a tag strictly between its neighbors, relabeling a
+// region first when the local gap is exhausted.
+func (l *List) assignTag(n *Node) {
+	lo := n.prev.tag
+	hi := uint64(1) << tagSpace // virtual upper fence
+	if n.next != nil {
+		hi = n.next.tag
+	}
+	if hi-lo >= 2 {
+		n.tag = lo + (hi-lo)/2
+		return
+	}
+	l.relabel(n)
+}
+
+// relabel finds the smallest enclosing dyadic tag range around n whose
+// density is below the overflow threshold, then spreads that range's nodes
+// evenly across it, and finally retags n within its restored gap.
+func (l *List) relabel(n *Node) {
+	// Grow the dyadic range [base, base+2^i) around n.prev until its
+	// density is acceptable.
+	for i := uint(1); i <= tagSpace; i++ {
+		size := uint64(1) << i
+		base := n.prev.tag &^ (size - 1)
+		// Collect the in-range nodes around n (excluding n itself, which
+		// has no valid tag yet).
+		first := n.prev
+		for first.prev != nil && first.prev.tag >= base {
+			first = first.prev
+		}
+		count := 0
+		last := first
+		for cur := first; cur != nil && (cur == n || cur.tag < base+size); cur = cur.next {
+			if cur == n {
+				continue
+			}
+			count++
+			last = cur
+		}
+		capacity := threshold(i)
+		if uint64(count+1)*2 > size { // need stride ≥ 2 to open a gap for n
+			continue
+		}
+		if float64(count) >= capacity && i < tagSpace {
+			continue // still too dense; widen
+		}
+		// Spread evenly: count nodes plus a slot for n's gap.
+		stride := size / uint64(count+1)
+		tag := base
+		for cur := first; ; cur = cur.next {
+			if cur == n {
+				continue
+			}
+			cur.tag = tag
+			tag += stride
+			if cur == last {
+				break
+			}
+		}
+		// n now has a fresh gap after its predecessor.
+		lo := n.prev.tag
+		hi := lo + stride
+		if n.next != nil {
+			hi = n.next.tag
+		}
+		n.tag = lo + (hi-lo)/2
+		if n.tag == lo {
+			panic("om: relabel failed to open a gap")
+		}
+		return
+	}
+	panic("om: tag space exhausted")
+}
+
+// threshold returns the maximum comfortable occupancy of a dyadic range of
+// size 2^i: (2/T)^i, the Bender et al. density schedule.
+func threshold(i uint) float64 {
+	t := 1.0
+	for k := uint(0); k < i; k++ {
+		t *= 2 / overflowT
+	}
+	return t
+}

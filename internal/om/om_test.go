@@ -1,0 +1,128 @@
+package om
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkOrder verifies that tag order agrees with list order end to end.
+func checkOrder(t *testing.T, l *List, head *Node) {
+	t.Helper()
+	n := 1
+	for cur := head; cur.next != nil; cur = cur.next {
+		if !l.Before(cur, cur.next) {
+			t.Fatalf("node %d: tag order violates list order (%d !< %d)", n, cur.tag, cur.next.tag)
+		}
+		n++
+	}
+	if n != l.Len() {
+		t.Fatalf("walked %d nodes, Len = %d", n, l.Len())
+	}
+}
+
+func TestAppendChain(t *testing.T) {
+	l, head := New()
+	cur := head
+	for i := 0; i < 10000; i++ {
+		cur = l.InsertAfter(cur)
+	}
+	checkOrder(t, l, head)
+	if !l.Before(head, cur) || l.Before(cur, head) {
+		t.Fatal("base node must precede the tail")
+	}
+}
+
+func TestInsertAlwaysAfterHead(t *testing.T) {
+	// Repeated insertion at the same point exhausts local gaps quickly and
+	// hammers the relabeling path.
+	l, head := New()
+	var last *Node
+	for i := 0; i < 20000; i++ {
+		last = l.InsertAfter(head)
+	}
+	checkOrder(t, l, head)
+	if !l.Before(last, head.next) && last != head.next {
+		// last was inserted first-after-head most recently, so it should be
+		// head.next exactly.
+		t.Fatal("most recent insert-after-head must sit immediately after head")
+	}
+}
+
+func TestBeforeIrreflexive(t *testing.T) {
+	l, head := New()
+	a := l.InsertAfter(head)
+	if l.Before(a, a) {
+		t.Fatal("a node must not precede itself")
+	}
+}
+
+// TestAgainstReferenceModel builds the same sequence in the OM list and in
+// a plain slice, then compares every pairwise order.
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l, head := New()
+	ref := []*Node{head}
+	for i := 0; i < 3000; i++ {
+		at := rng.Intn(len(ref))
+		n := l.InsertAfter(ref[at])
+		// Mirror into the reference slice.
+		ref = append(ref, nil)
+		copy(ref[at+2:], ref[at+1:])
+		ref[at+1] = n
+	}
+	for i := 0; i < len(ref); i++ {
+		for j := i + 1; j < i+20 && j < len(ref); j++ {
+			if !l.Before(ref[i], ref[j]) {
+				t.Fatalf("ref[%d] should precede ref[%d]", i, j)
+			}
+			if l.Before(ref[j], ref[i]) {
+				t.Fatalf("ref[%d] should not precede ref[%d]", j, i)
+			}
+		}
+	}
+	checkOrder(t, l, head)
+}
+
+// Property: random insertion patterns keep the total order consistent.
+func TestQuickRandomInsertions(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 10
+		rng := rand.New(rand.NewSource(seed))
+		l, head := New()
+		nodes := []*Node{head}
+		for i := 0; i < n; i++ {
+			at := rng.Intn(len(nodes))
+			nodes = append(nodes, l.InsertAfter(nodes[at]))
+		}
+		// Walk the list; every step must satisfy Before.
+		count := 1
+		for cur := head; cur.next != nil; cur = cur.next {
+			if !l.Before(cur, cur.next) {
+				return false
+			}
+			count++
+		}
+		return count == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertAfterHead(b *testing.B) {
+	l, head := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.InsertAfter(head)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	l, head := New()
+	cur := head
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cur = l.InsertAfter(cur)
+	}
+}

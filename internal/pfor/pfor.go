@@ -1,0 +1,120 @@
+// Package pfor implements the cilk_for construct: parallel loops expressed
+// as divide-and-conquer recursion over the iteration space.
+//
+// §2 of the paper: "A cilk_for can be viewed as divide-and-conquer parallel
+// recursion using cilk_spawn and cilk_sync over the iteration space." The
+// MIT Cilk predecessor forced programmers to write that recursion by hand
+// (§1); this package automates it, including the automatic grain-size
+// choice that keeps the spawn overhead an O(1/grain) fraction of the work
+// while leaving parallelism at least ~8P.
+//
+// Like cilk_for, a loop here is a complete fork-join nest: For returns only
+// after every iteration has finished (there is an implicit sync), and
+// iterations must not depend on one another.
+package pfor
+
+import (
+	"cilkgo/internal/hyper"
+	"cilkgo/internal/sched"
+)
+
+// maxGrain caps the automatic grain size, mirroring the Cilk++ runtime's
+// cap (2048 iterations) that bounds the serial chunk on small machines.
+const maxGrain = 2048
+
+// Grain returns the automatic grain size for a loop of n iterations on p
+// workers: min(2048, ceil(n/(8p))), at least 1. Chunks of this size keep
+// spawn overhead negligible while exposing ≥ ~8P-way parallelism so the
+// work-stealing scheduler can balance the loop (§3.1).
+func Grain(n, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	if n < 1 {
+		return 1
+	}
+	g := (n + 8*p - 1) / (8 * p)
+	if g > maxGrain {
+		g = maxGrain
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// For executes body(c, i) for every i in [lo, hi) as a parallel loop with
+// the automatic grain size. It returns after all iterations complete.
+func For(c *sched.Context, lo, hi int, body func(c *sched.Context, i int)) {
+	ForGrain(c, lo, hi, Grain(hi-lo, c.Runtime().Workers()), body)
+}
+
+// ForGrain is For with an explicit grain size: runs of up to grain
+// consecutive iterations execute serially within one strand. The loop's
+// implicit sync joins only the loop's own iterations, not other children
+// the caller may have spawned (the loop body runs in a called frame).
+func ForGrain(c *sched.Context, lo, hi, grain int, body func(c *sched.Context, i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if lo >= hi {
+		return
+	}
+	c.Call(func(c *sched.Context) {
+		forRec(c, lo, hi, grain, body)
+	})
+}
+
+// forRec recursively halves [lo, hi), spawning the left half and recursing
+// into the right, exactly the divide-and-conquer elision of cilk_for. The
+// enclosing called frame issues the implicit sync.
+func forRec(c *sched.Context, lo, hi, grain int, body func(c *sched.Context, i int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		lo2 := lo
+		c.Spawn(func(c *sched.Context) { forRec(c, lo2, mid, grain, body) })
+		lo = mid
+	}
+	for i := lo; i < hi; i++ {
+		body(c, i)
+	}
+}
+
+// Each runs body over every element of s in parallel: body(c, i, &s[i]).
+func Each[T any](c *sched.Context, s []T, body func(c *sched.Context, i int, v *T)) {
+	For(c, 0, len(s), func(c *sched.Context, i int) { body(c, i, &s[i]) })
+}
+
+// For2D executes body(c, i, j) for the product range [lo1,hi1) × [lo2,hi2),
+// parallelizing the outer dimension and, when it is too narrow to occupy
+// the workers, the inner dimension as well.
+func For2D(c *sched.Context, lo1, hi1, lo2, hi2 int, body func(c *sched.Context, i, j int)) {
+	p := c.Runtime().Workers()
+	if hi1-lo1 >= 8*p {
+		For(c, lo1, hi1, func(c *sched.Context, i int) {
+			for j := lo2; j < hi2; j++ {
+				body(c, i, j)
+			}
+		})
+		return
+	}
+	For(c, lo1, hi1, func(c *sched.Context, i int) {
+		For(c, lo2, hi2, func(c *sched.Context, j int) {
+			body(c, i, j)
+		})
+	})
+}
+
+// Reduce executes body(c, i) for every i in [lo, hi) in parallel and folds
+// the results with the monoid in ascending index order — a map-reduce over
+// the iteration space built on a reducer hyperobject, so no locks and no
+// contention are involved and the fold order matches the serial loop's.
+func Reduce[T any](c *sched.Context, lo, hi int, m hyper.Monoid[T], body func(c *sched.Context, i int) T) T {
+	red := hyper.New(m)
+	For(c, lo, hi, func(c *sched.Context, i int) {
+		v := red.View(c)
+		*v = m.Combine(*v, body(c, i))
+	})
+	// For has synced, so the calling strand's view holds the full fold.
+	return *red.View(c)
+}

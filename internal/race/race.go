@@ -1,0 +1,353 @@
+// Package race implements a Cilkscreen-style determinacy-race detector
+// (§4 of the paper) on top of the SP-bags algorithm.
+//
+// A data race exists when two logically parallel strands access the same
+// shared location, the strands hold no locks in common, and at least one
+// access is a write. The detector executes the program ONCE, serially (the
+// runtime's serial-elision mode), tracking the series-parallel relationships
+// of the execution with SP-bags and keeping shadow state per memory
+// location. For a deterministic program and a given input, it reports a
+// race on a location if and only if some scheduling of the parallel code
+// could produce conflicting accesses to it — the same guarantee Cilkscreen
+// provides.
+//
+// Lock-based protocols are handled with the ALL-SETS algorithm of Cheng,
+// Feng, Leiserson, Randall and Stark (SPAA 1998), the paper's reference [8]:
+// each location's shadow keeps a set of (lockset, accessor) pairs for
+// readers and writers, pruning entries subsumed by later serial accesses
+// with smaller locksets, so detection remains exact (no false negatives and
+// no false positives) for programs that use locks.
+//
+// Cilkscreen intercepts every load and store with binary instrumentation;
+// the Go analogue is source-level: programs funnel shared accesses through
+// Detector.Read and Detector.Write with a Location key and a source label
+// used for race localization. Lock events arrive through the cilklock
+// observer.
+package race
+
+import (
+	"fmt"
+
+	"cilkgo/internal/sched"
+	"cilkgo/internal/spbags"
+	"cilkgo/internal/sporder"
+)
+
+// Location identifies one shared memory location. Any comparable value
+// works: a pointer to the variable, a name string, or an Index key for an
+// array element.
+type Location any
+
+// Index returns the Location of element i of the named array.
+func Index(name string, i int) Location { return indexLoc{name, i} }
+
+type indexLoc struct {
+	name string
+	i    int
+}
+
+func (l indexLoc) String() string { return fmt.Sprintf("%s[%d]", l.name, l.i) }
+
+// Kind classifies a race by its access pair, in serial execution order.
+type Kind int8
+
+const (
+	// WriteWrite: two parallel writes.
+	WriteWrite Kind = iota
+	// WriteRead: a write, then a logically parallel read.
+	WriteRead
+	// ReadWrite: a read, then a logically parallel write.
+	ReadWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Report describes one detected race.
+type Report struct {
+	Loc    Location
+	Kind   Kind
+	First  string // label of the serially earlier access
+	Second string // label of the serially later access
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("race (%s) on %v: %q ‖ %q", r.Kind, r.Loc, r.First, r.Second)
+}
+
+// Backend abstracts the on-the-fly series-parallel maintenance algorithm
+// the detector runs on. Two provably good algorithms are provided, matching
+// the paper's references: SP-bags (Feng–Leiserson, [14]; the default) and
+// SP-order (Bender et al., [2]). Both receive the serial execution's
+// parallel-control events and answer whether a recorded accessor's work is
+// in series with the current instruction.
+type Backend interface {
+	FrameStart()
+	FrameEnd()
+	CallStart()
+	CallEnd()
+	Sync()
+	// Current identifies the executing strand or procedure; the detector
+	// stores it in shadow entries.
+	Current() int32
+	// InSeries reports whether the recorded accessor id's work is in
+	// series with the current instruction.
+	InSeries(id int32) bool
+}
+
+// bagsBackend adapts SP-bags (procedure-granular) to the Backend interface
+// by tracking the procedure stack of the serial execution.
+type bagsBackend struct {
+	bags  *spbags.Bags
+	stack []spbags.Proc
+}
+
+// NewSPBagsBackend returns the default SP-bags backend.
+func NewSPBagsBackend() Backend {
+	return &bagsBackend{bags: spbags.New()}
+}
+
+func (b *bagsBackend) FrameStart() { b.stack = append(b.stack, b.bags.NewProc()) }
+func (b *bagsBackend) CallStart()  { b.stack = append(b.stack, b.bags.NewProc()) }
+
+func (b *bagsBackend) FrameEnd() {
+	child := b.popProc()
+	if len(b.stack) > 0 {
+		b.bags.ReturnSpawned(b.top(), child)
+	}
+}
+
+func (b *bagsBackend) CallEnd() {
+	child := b.popProc()
+	if len(b.stack) > 0 {
+		b.bags.ReturnCalled(b.top(), child)
+	}
+}
+
+func (b *bagsBackend) Sync() { b.bags.Sync(b.top()) }
+
+func (b *bagsBackend) top() spbags.Proc {
+	if len(b.stack) == 0 {
+		panic("race: access outside any procedure (is the detector attached via Hooks?)")
+	}
+	return b.stack[len(b.stack)-1]
+}
+
+func (b *bagsBackend) popProc() spbags.Proc {
+	p := b.top()
+	b.stack = b.stack[:len(b.stack)-1]
+	return p
+}
+
+func (b *bagsBackend) Current() int32        { return int32(b.top()) }
+func (b *bagsBackend) InSeries(x int32) bool { return b.bags.InSeries(spbags.Proc(x)) }
+
+// NewSPOrderBackend returns the SP-order backend, which maintains English
+// and Hebrew order-maintenance lists instead of disjoint-set bags.
+func NewSPOrderBackend() Backend { return sporder.New() }
+
+// access is one ALL-SETS shadow entry: an accessor strand/procedure
+// together with the lockset it held and a source label.
+type access struct {
+	proc  int32
+	locks []uint64
+	label string
+}
+
+// cell is the shadow state of one location: the ALL-SETS reader and writer
+// entry lists.
+type cell struct {
+	writers []access
+	readers []access
+}
+
+// Detector drives one serial detection run. Create with NewDetector, attach
+// via Hooks to a serial-elision runtime, route shared accesses through
+// Read/Write, and collect Reports afterwards. The Detector also implements
+// cilklock.Observer so locked accesses are recognized.
+type Detector struct {
+	backend Backend
+	shadow  map[Location]*cell
+	held    []uint64
+	report  []Report
+	seen    map[reportKey]bool
+}
+
+type reportKey struct {
+	loc    Location
+	kind   Kind
+	first  string
+	second string
+}
+
+// NewDetector returns an empty detector on the default SP-bags backend.
+func NewDetector() *Detector {
+	return NewDetectorBackend(NewSPBagsBackend())
+}
+
+// NewDetectorBackend returns an empty detector driven by the given
+// series-parallel maintenance backend.
+func NewDetectorBackend(b Backend) *Detector {
+	return &Detector{
+		backend: b,
+		shadow:  make(map[Location]*cell),
+		seen:    make(map[reportKey]bool),
+	}
+}
+
+// Hooks returns the scheduler hooks that feed the detector. Install them
+// with sched.WithHooks on a SerialElision runtime.
+func (d *Detector) Hooks() sched.Hooks { return (*detHooks)(d) }
+
+// detHooks adapts Detector to sched.Hooks without exposing the hook methods
+// on Detector itself.
+type detHooks Detector
+
+func (h *detHooks) Spawn()      {}
+func (h *detHooks) FrameStart() { (*Detector)(h).backend.FrameStart() }
+func (h *detHooks) FrameEnd()   { (*Detector)(h).backend.FrameEnd() }
+func (h *detHooks) CallStart()  { (*Detector)(h).backend.CallStart() }
+func (h *detHooks) CallEnd()    { (*Detector)(h).backend.CallEnd() }
+func (h *detHooks) Sync()       { (*Detector)(h).backend.Sync() }
+
+// OnLock implements cilklock.Observer.
+func (d *Detector) OnLock(id uint64) { d.held = append(d.held, id) }
+
+// OnUnlock implements cilklock.Observer.
+func (d *Detector) OnUnlock(id uint64) {
+	for i := len(d.held) - 1; i >= 0; i-- {
+		if d.held[i] == id {
+			d.held = append(d.held[:i], d.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// locksDisjoint reports whether the two small lock-id sets share no lock.
+func locksDisjoint(a, b []uint64) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// subset reports a ⊆ b for small lock-id sets.
+func subset(a, b []uint64) bool {
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Detector) heldCopy() []uint64 {
+	if len(d.held) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(d.held))
+	copy(out, d.held)
+	return out
+}
+
+func (d *Detector) emit(loc Location, kind Kind, first, second string) {
+	key := reportKey{loc, kind, first, second}
+	if d.seen[key] {
+		return
+	}
+	d.seen[key] = true
+	d.report = append(d.report, Report{Loc: loc, Kind: kind, First: first, Second: second})
+}
+
+func (d *Detector) cellFor(loc Location) *cell {
+	c := d.shadow[loc]
+	if c == nil {
+		c = &cell{}
+		d.shadow[loc] = c
+	}
+	return c
+}
+
+// checkAgainst reports races between the current access (with the held
+// lockset) and every recorded entry that is logically parallel and shares
+// no lock.
+func (d *Detector) checkAgainst(loc Location, entries []access, kind Kind, label string) {
+	for i := range entries {
+		e := &entries[i]
+		if !d.backend.InSeries(e.proc) && locksDisjoint(e.locks, d.held) {
+			d.emit(loc, kind, e.label, label)
+		}
+	}
+}
+
+// insertPruned appends the current access (cur, locks, label) to entries,
+// first removing entries it subsumes. An old entry (e′, H′) with H ⊆ H′ is
+// redundant when either
+//
+//   - e′ is in series with the current strand: any future access racing
+//     with (e′, H′) is parallel with the new entry too and holds a lockset
+//     disjoint from H ⊆ H′ (the ALL-SETS pruning lemma); or
+//   - raced is true and H ∩ H′ = ∅, i.e. the pair (e′, new) itself just
+//     raced and was reported: the location is already flagged, so any race
+//     a future access would have had with e′ either re-reports against the
+//     new entry or is subsumed by the existing report. This keeps writer
+//     lists O(1) on lock-free programs while preserving Cilkscreen's
+//     per-location guarantee. Reads never race each other, so the caller
+//     passes raced=false for reader lists and parallel readers are kept.
+func (d *Detector) insertPruned(entries []access, cur int32, locks []uint64, label string, raced bool) []access {
+	kept := entries[:0]
+	for i := range entries {
+		e := entries[i]
+		if subset(locks, e.locks) &&
+			(d.backend.InSeries(e.proc) || (raced && locksDisjoint(e.locks, locks))) {
+			continue // subsumed by the new entry
+		}
+		kept = append(kept, e)
+	}
+	return append(kept, access{proc: cur, locks: locks, label: label})
+}
+
+// Write records a write to loc by the current strand. label localizes the
+// access in the source (e.g. "walk: output_list.push_back").
+func (d *Detector) Write(loc Location, label string) {
+	cur := d.backend.Current()
+	c := d.cellFor(loc)
+	d.checkAgainst(loc, c.writers, WriteWrite, label)
+	d.checkAgainst(loc, c.readers, ReadWrite, label)
+	c.writers = d.insertPruned(c.writers, cur, d.heldCopy(), label, true)
+}
+
+// Read records a read of loc by the current strand.
+func (d *Detector) Read(loc Location, label string) {
+	cur := d.backend.Current()
+	c := d.cellFor(loc)
+	d.checkAgainst(loc, c.writers, WriteRead, label)
+	c.readers = d.insertPruned(c.readers, cur, d.heldCopy(), label, false)
+}
+
+// Reports returns the detected races in detection order.
+func (d *Detector) Reports() []Report { return d.report }
+
+// Racy reports whether any race was detected.
+func (d *Detector) Racy() bool { return len(d.report) > 0 }

@@ -1,0 +1,570 @@
+package race
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cilkgo/internal/cilklock"
+	"cilkgo/internal/dag"
+	"cilkgo/internal/sched"
+)
+
+func mustCheck(t *testing.T, program func(c *sched.Context, d *Detector)) []Report {
+	t.Helper()
+	reports, err := Check(program)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return reports
+}
+
+func TestNoRaceDisjointWrites(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		for i := 0; i < 8; i++ {
+			i := i
+			c.Spawn(func(*sched.Context) { d.Write(Index("a", i), "loop body") })
+		}
+		c.Sync()
+	})
+	if len(reports) != 0 {
+		t.Fatalf("false positive: %v", reports)
+	}
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) { d.Write("x", "child write") })
+		d.Write("x", "parent write")
+		c.Sync()
+	})
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v, want one write-write race", reports)
+	}
+	r := reports[0]
+	if r.Kind != WriteWrite || r.First != "child write" || r.Second != "parent write" {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) { d.Write("x", "w") })
+		d.Read("x", "r")
+		c.Sync()
+	})
+	if len(reports) != 1 || reports[0].Kind != WriteRead {
+		t.Fatalf("reports = %v, want one write-read race", reports)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) { d.Read("x", "r") })
+		d.Write("x", "w")
+		c.Sync()
+	})
+	if len(reports) != 1 || reports[0].Kind != ReadWrite {
+		t.Fatalf("reports = %v, want one read-write race", reports)
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) { d.Read("x", "r1") })
+		d.Read("x", "r2")
+		c.Sync()
+	})
+	if len(reports) != 0 {
+		t.Fatalf("parallel reads reported as race: %v", reports)
+	}
+}
+
+func TestSyncSerializesAccesses(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) { d.Write("x", "before") })
+		c.Sync()
+		d.Write("x", "after")
+	})
+	if len(reports) != 0 {
+		t.Fatalf("accesses separated by sync reported as race: %v", reports)
+	}
+}
+
+func TestLocksSuppressRace(t *testing.T) {
+	// §4: strands holding a lock in common do not race.
+	mu := cilklock.New("L")
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) {
+			mu.Lock()
+			d.Write("x", "locked child")
+			mu.Unlock()
+		})
+		mu.Lock()
+		d.Write("x", "locked parent")
+		mu.Unlock()
+		c.Sync()
+	})
+	if len(reports) != 0 {
+		t.Fatalf("lock-protected accesses reported as race: %v", reports)
+	}
+}
+
+func TestDifferentLocksStillRace(t *testing.T) {
+	a, b := cilklock.New("A"), cilklock.New("B")
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) {
+			a.Lock()
+			d.Write("x", "under A")
+			a.Unlock()
+		})
+		b.Lock()
+		d.Write("x", "under B")
+		b.Unlock()
+		c.Sync()
+	})
+	if len(reports) != 1 {
+		t.Fatalf("disjoint locksets must race: %v", reports)
+	}
+}
+
+// qsortInstr mirrors Fig. 1's quicksort spawn structure over an index range,
+// recording element accesses. With overlap=true, line 13's bug from §4 is
+// reproduced: qsort(max(begin+1, middle-1), end) makes the two spawned
+// subproblems overlap by one element.
+func qsortInstr(c *sched.Context, d *Detector, data []int, lo, hi int, overlap bool) {
+	if hi-lo < 2 {
+		return
+	}
+	// Partition: read and write every element of [lo,hi).
+	pivot := data[lo]
+	mid := lo
+	for i := lo; i < hi; i++ {
+		d.Read(Index("a", i), "partition read")
+		if data[i] < pivot {
+			mid++
+		}
+		d.Write(Index("a", i), "partition write")
+	}
+	if mid == lo {
+		mid = lo + 1
+	}
+	loLeft, hiLeft := lo, mid
+	loRight := max(lo+1, mid)
+	if overlap {
+		loRight = max(lo+1, mid-1) // the §4 bug
+	}
+	c.Spawn(func(c *sched.Context) { qsortInstr(c, d, data, loLeft, hiLeft, overlap) })
+	qsortInstr(c, d, data, loRight, hi, overlap)
+	c.Sync()
+}
+
+func TestQsortOverlapRaceDetected(t *testing.T) {
+	// E7: Cilkscreen guarantees to find the §4 qsort bug when exposed.
+	data := make([]int, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range data {
+		data[i] = rng.Intn(1000)
+	}
+	buggy := mustCheck(t, func(c *sched.Context, d *Detector) {
+		qsortInstr(c, d, append([]int(nil), data...), 0, len(data), true)
+	})
+	if len(buggy) == 0 {
+		t.Fatal("overlapping qsort subproblems must race")
+	}
+	fixed := mustCheck(t, func(c *sched.Context, d *Detector) {
+		qsortInstr(c, d, append([]int(nil), data...), 0, len(data), false)
+	})
+	if len(fixed) != 0 {
+		t.Fatalf("correct qsort reported races: %v", fixed)
+	}
+}
+
+// TestTreeWalkGlobalList reproduces Fig. 5's bug: parallel tree walk
+// appending to a global output list races; Fig. 6's mutex version does not.
+func TestTreeWalkGlobalList(t *testing.T) {
+	var walk func(c *sched.Context, d *Detector, depth int, mu *cilklock.Mutex)
+	walk = func(c *sched.Context, d *Detector, depth int, mu *cilklock.Mutex) {
+		if depth == 0 {
+			return
+		}
+		if mu != nil {
+			mu.Lock()
+		}
+		d.Read("output_list", "walk: read list tail")
+		d.Write("output_list", "walk: push_back")
+		if mu != nil {
+			mu.Unlock()
+		}
+		c.Spawn(func(c *sched.Context) { walk(c, d, depth-1, mu) })
+		walk(c, d, depth-1, mu)
+		c.Sync()
+	}
+	racy := mustCheck(t, func(c *sched.Context, d *Detector) { walk(c, d, 4, nil) })
+	if len(racy) == 0 {
+		t.Fatal("Fig. 5 naive parallel walk must race on output_list")
+	}
+	mu := cilklock.New("L")
+	locked := mustCheck(t, func(c *sched.Context, d *Detector) { walk(c, d, 4, mu) })
+	if len(locked) != 0 {
+		t.Fatalf("Fig. 6 mutex walk reported races: %v", locked)
+	}
+}
+
+func TestReportDeduplication(t *testing.T) {
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		for i := 0; i < 50; i++ {
+			c.Spawn(func(*sched.Context) { d.Write("x", "w") })
+		}
+		c.Sync()
+	})
+	if len(reports) != 1 {
+		t.Fatalf("identical races must be deduplicated: got %d reports", len(reports))
+	}
+}
+
+func TestAccessOutsideRunPanics(t *testing.T) {
+	d := NewDetector()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access with empty procedure stack must panic")
+		}
+	}()
+	d.Write("x", "stray")
+}
+
+// groundTruth executes a random lock-free fork-join program, driving the
+// detector's hooks and a dag builder in lockstep, and returns the set of
+// locations the dag model says are racy alongside the set the detector
+// reported. The two must agree exactly: this is §4's "guarantees to report
+// a race bug iff exposed", as a property test.
+type gtAccess struct {
+	node  dag.Node
+	loc   int
+	write bool
+}
+
+func groundTruth(seed int64) (want, got map[int]bool) {
+	d := NewDetector()
+	h := d.Hooks()
+	bld := dag.NewBuilder()
+	rng := rand.New(rand.NewSource(seed))
+	var accesses []gtAccess
+	const nLocs = 3
+
+	var run func(depth int)
+	run = func(depth int) {
+		nOps := rng.Intn(6) + 1
+		for op := 0; op < nOps; op++ {
+			switch r := rng.Intn(6); {
+			case r == 0 && depth < 4: // spawn
+				h.Spawn()
+				bld.Spawn()
+				h.FrameStart()
+				run(depth + 1)
+				h.Sync() // implicit sync of child
+				bld.Return()
+				h.FrameEnd()
+			case r == 1 && depth < 4: // call
+				bld.Call()
+				h.CallStart()
+				run(depth + 1)
+				h.Sync()
+				bld.ReturnCall()
+				h.CallEnd()
+			case r == 2: // sync
+				bld.Sync()
+				h.Sync()
+			default: // access
+				loc := rng.Intn(nLocs)
+				write := rng.Intn(2) == 0
+				node := bld.Step(1)
+				accesses = append(accesses, gtAccess{node, loc, write})
+				if write {
+					d.Write(loc, "w")
+				} else {
+					d.Read(loc, "r")
+				}
+			}
+		}
+	}
+	h.FrameStart() // root
+	run(0)
+	h.Sync()
+	h.FrameEnd()
+
+	g := bld.Finish()
+	want = make(map[int]bool)
+	for i := 0; i < len(accesses); i++ {
+		for j := i + 1; j < len(accesses); j++ {
+			a, b := accesses[i], accesses[j]
+			if a.loc != b.loc || (!a.write && !b.write) {
+				continue
+			}
+			if g.Parallel(a.node, b.node) {
+				want[a.loc] = true
+			}
+		}
+	}
+	got = make(map[int]bool)
+	for _, r := range d.Reports() {
+		got[r.Loc.(int)] = true
+	}
+	return want, got
+}
+
+func TestQuickDetectorMatchesDagModel(t *testing.T) {
+	f := func(seed int64) bool {
+		want, got := groundTruth(seed)
+		if len(want) != len(got) {
+			return false
+		}
+		for loc := range want {
+			if !got[loc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDetectorAccess(b *testing.B) {
+	d := NewDetector()
+	h := d.Hooks()
+	h.FrameStart()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(Index("a", i%1024), "w")
+		d.Read(Index("a", (i+1)%1024), "r")
+	}
+}
+
+// groundTruthLocked extends the ground-truth comparison to programs that
+// use locks: accesses record the lockset held, and the dag-model definition
+// of a race (§4) — parallel strands, same location, at least one write,
+// no common lock — is compared per location against the ALL-SETS detector.
+func groundTruthLocked(seed int64, d *Detector) (want, got map[int]bool) {
+	h := d.Hooks()
+	bld := dag.NewBuilder()
+	rng := rand.New(rand.NewSource(seed))
+	const nLocs = 3
+	const nLocks = 2
+	type acc struct {
+		node  dag.Node
+		loc   int
+		write bool
+		locks []uint64
+	}
+	var accesses []acc
+
+	var run func(depth int, held []uint64)
+	run = func(depth int, held []uint64) {
+		nOps := rng.Intn(6) + 1
+		for op := 0; op < nOps; op++ {
+			switch r := rng.Intn(8); {
+			case r == 0 && depth < 4: // spawn
+				h.Spawn()
+				bld.Spawn()
+				h.FrameStart()
+				run(depth+1, held)
+				h.Sync()
+				bld.Return()
+				h.FrameEnd()
+			case r == 1 && depth < 4: // call
+				bld.Call()
+				h.CallStart()
+				run(depth+1, held)
+				h.Sync()
+				bld.ReturnCall()
+				h.CallEnd()
+			case r == 2: // sync
+				bld.Sync()
+				h.Sync()
+			case r == 3 || r == 4: // locked access scope
+				id := uint64(rng.Intn(nLocks)) + 1
+				d.OnLock(id)
+				scope := append(append([]uint64(nil), held...), id)
+				loc := rng.Intn(nLocs)
+				write := rng.Intn(2) == 0
+				node := bld.Step(1)
+				accesses = append(accesses, acc{node, loc, write, scope})
+				if write {
+					d.Write(loc, "w-locked")
+				} else {
+					d.Read(loc, "r-locked")
+				}
+				d.OnUnlock(id)
+			default: // plain access
+				loc := rng.Intn(nLocs)
+				write := rng.Intn(2) == 0
+				node := bld.Step(1)
+				accesses = append(accesses, acc{node, loc, write, append([]uint64(nil), held...)})
+				if write {
+					d.Write(loc, "w")
+				} else {
+					d.Read(loc, "r")
+				}
+			}
+		}
+	}
+	h.FrameStart()
+	run(0, nil)
+	h.Sync()
+	h.FrameEnd()
+
+	g := bld.Finish()
+	disjoint := func(a, b []uint64) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	want = make(map[int]bool)
+	for i := 0; i < len(accesses); i++ {
+		for j := i + 1; j < len(accesses); j++ {
+			a, b := accesses[i], accesses[j]
+			if a.loc != b.loc || (!a.write && !b.write) || !disjoint(a.locks, b.locks) {
+				continue
+			}
+			if g.Parallel(a.node, b.node) {
+				want[a.loc] = true
+			}
+		}
+	}
+	got = make(map[int]bool)
+	for _, r := range d.Reports() {
+		got[r.Loc.(int)] = true
+	}
+	return want, got
+}
+
+// TestQuickAllSetsMatchesDagModel: the ALL-SETS detector agrees exactly
+// (per location) with the dag-model race definition on random programs
+// that mix locked and unlocked accesses.
+func TestQuickAllSetsMatchesDagModel(t *testing.T) {
+	for name, mk := range map[string]func() *Detector{
+		"spbags":  NewDetector,
+		"sporder": func() *Detector { return NewDetectorBackend(NewSPOrderBackend()) },
+	} {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				want, got := groundTruthLocked(seed, mk())
+				if len(want) != len(got) {
+					return false
+				}
+				for loc := range want {
+					if !got[loc] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSPOrderBackendOnCanonicalPrograms: both backends agree on the
+// paper's canonical buggy and fixed programs.
+func TestSPOrderBackendOnCanonicalPrograms(t *testing.T) {
+	progs := map[string]struct {
+		prog func(*sched.Context, *Detector)
+		racy bool
+	}{
+		"ww": {func(c *sched.Context, d *Detector) {
+			c.Spawn(func(*sched.Context) { d.Write("x", "a") })
+			d.Write("x", "b")
+			c.Sync()
+		}, true},
+		"synced": {func(c *sched.Context, d *Detector) {
+			c.Spawn(func(*sched.Context) { d.Write("x", "a") })
+			c.Sync()
+			d.Write("x", "b")
+		}, false},
+	}
+	for name, tc := range progs {
+		bags, err := Check(tc.prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := CheckSPOrder(tc.prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(bags) > 0) != tc.racy || (len(order) > 0) != tc.racy {
+			t.Fatalf("%s: spbags=%d sporder=%d reports, racy=%v", name, len(bags), len(order), tc.racy)
+		}
+	}
+}
+
+// TestAllSetsMixedDiscipline: the same location accessed both with and
+// without the lock races, even though the locked pair alone would not.
+func TestAllSetsMixedDiscipline(t *testing.T) {
+	mu := cilklock.New("L")
+	reports := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) {
+			mu.Lock()
+			d.Write("x", "locked write")
+			mu.Unlock()
+		})
+		d.Write("x", "unlocked write")
+		c.Sync()
+	})
+	if len(reports) != 1 {
+		t.Fatalf("mixed lock discipline must race once: %v", reports)
+	}
+}
+
+// TestAllSetsNestedLocks: accesses under nested locks share the outer lock
+// and must not race; dropping the common outer lock reintroduces the race.
+func TestAllSetsNestedLocks(t *testing.T) {
+	outer, inner := cilklock.New("outer"), cilklock.New("inner")
+	quiet := mustCheck(t, func(c *sched.Context, d *Detector) {
+		c.Spawn(func(*sched.Context) {
+			outer.Lock()
+			inner.Lock()
+			d.Write("x", "w1")
+			inner.Unlock()
+			outer.Unlock()
+		})
+		outer.Lock()
+		d.Write("x", "w2")
+		outer.Unlock()
+		c.Sync()
+	})
+	if len(quiet) != 0 {
+		t.Fatalf("common outer lock must suppress the race: %v", quiet)
+	}
+}
+
+// TestWriterListStaysSmall: on a lock-free all-parallel writer storm, the
+// raced-pair pruning keeps the shadow entry list from growing linearly.
+func TestWriterListStaysSmall(t *testing.T) {
+	d := NewDetector()
+	h := d.Hooks()
+	h.FrameStart()
+	for i := 0; i < 10_000; i++ {
+		h.Spawn()
+		h.FrameStart()
+		d.Write("hot", "w")
+		h.Sync()
+		h.FrameEnd()
+	}
+	c := d.shadow["hot"]
+	if len(c.writers) > 4 {
+		t.Fatalf("writer entries = %d, want O(1) after pruning", len(c.writers))
+	}
+	if !d.Racy() {
+		t.Fatal("storm must race")
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import "time"
+
+// Context is the handle a strand uses to create and synchronize parallel
+// work. A Context is bound to one executing function instance (one frame);
+// it is not safe for concurrent use, and spawned children receive their own
+// Contexts. This mirrors the Cilk++ keywords: Spawn is cilk_spawn, Sync is
+// cilk_sync.
+type Context struct {
+	w     *worker // nil in serial-elision mode
+	rt    *Runtime
+	frame *frame
+
+	// views holds the hyperobject views of the frame's current strand
+	// segment. Only this frame's strand touches it; Spawn seals it into the
+	// frame and Sync folds the sealed segments back, preserving serial
+	// reduction order under any schedule.
+	views viewMap
+}
+
+// Runtime returns the runtime executing this computation.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// WorkerID returns the index of the worker executing this strand, or 0 in
+// serial-elision mode.
+func (c *Context) WorkerID() int {
+	if c.w == nil {
+		return 0
+	}
+	return c.w.id
+}
+
+// Depth returns the spawn depth of this frame below the root.
+func (c *Context) Depth() int { return int(c.frame.depth) }
+
+// Spawn submits fn as a spawned child of this frame: the child may execute
+// in parallel with the rest of this function, on this or any other worker.
+// Results produced by the child must not be consumed before the next Sync.
+//
+// In serial-elision mode Spawn simply calls fn, yielding exactly the serial
+// C++-elision execution order.
+func (c *Context) Spawn(fn func(*Context)) {
+	if c.rt.cfg.serial {
+		c.spawnSerial(fn)
+		return
+	}
+	f := c.frame
+	ord := f.nextOrdinal
+	f.nextOrdinal++
+	if len(c.views) > 0 {
+		f.sealSegment(ord, c.views)
+		c.views = nil
+	}
+	f.pending.Add(1)
+	child := &frame{parent: f, run: f.run, ordinal: ord, depth: f.depth + 1}
+	c.w.ws.spawns.Add(1)
+	c.w.deque.PushBottom(&task{fn: fn, frame: child})
+}
+
+// spawnSerial executes the child immediately as an ordinary call, firing
+// instrumentation hooks in depth-first serial order. The child shares the
+// parent's view map, which trivially yields the serial reduction order.
+func (c *Context) spawnSerial(fn func(*Context)) {
+	h := c.rt.cfg.hooks
+	if h != nil {
+		h.Spawn()
+	}
+	child := &frame{parent: c.frame, run: c.frame.run, depth: c.frame.depth + 1}
+	cc := &Context{rt: c.rt, frame: child, views: c.views}
+	if h != nil {
+		h.FrameStart()
+	}
+	fn(cc)
+	cc.Sync()
+	c.views = cc.views // the child may have (re)allocated the shared map
+	if h != nil {
+		h.FrameEnd()
+	}
+}
+
+// Call executes fn synchronously in a fresh frame, like an ordinary (not
+// spawned) Cilk function call: fn runs to completion on the calling strand,
+// and its implicit sync joins only the children fn itself spawned — not the
+// caller's pending children. Constructs with their own sync scope, such as
+// cilk_for (internal/pfor), are built on Call.
+func (c *Context) Call(fn func(*Context)) {
+	h := c.rt.cfg.hooks
+	if h != nil {
+		h.CallStart()
+	}
+	child := &frame{parent: c.frame, run: c.frame.run, depth: c.frame.depth + 1}
+	cc := &Context{w: c.w, rt: c.rt, frame: child, views: c.views}
+	fn(cc)
+	cc.Sync() // implicit sync of the called frame
+	c.views = cc.views
+	if h != nil {
+		h.CallEnd()
+	}
+}
+
+// Sync waits until every child spawned by this function has completed — a
+// local barrier, not a global one (§1). While waiting, the worker first
+// drains its own deque and then steals, so processors never idle while work
+// is available. When the join completes, the frame's hyperobject views are
+// folded in serial order.
+func (c *Context) Sync() {
+	if c.rt.cfg.serial {
+		if h := c.rt.cfg.hooks; h != nil {
+			h.Sync()
+		}
+		return
+	}
+	c.syncWait()
+	f := c.frame
+	if f.nextOrdinal > 0 {
+		c.views = f.foldViews(c.views)
+		f.nextOrdinal = 0
+	}
+}
+
+// syncWait blocks until the frame's join counter reaches zero, executing
+// other available tasks while waiting.
+func (c *Context) syncWait() {
+	f := c.frame
+	if f.pending.Load() == 0 {
+		return
+	}
+	w := c.w
+	backoff := minBackoff
+	for f.pending.Load() != 0 {
+		if t := w.deque.PopBottom(); t != nil {
+			w.runTask(t)
+			backoff = minBackoff
+			continue
+		}
+		if t := w.stealOnce(); t != nil {
+			w.runTask(t)
+			backoff = minBackoff
+			continue
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// LookupView returns the strand's current view for the hyperobject key, or
+// nil. Used by the hyperobject library (internal/hyper).
+func (c *Context) LookupView(key any) View {
+	return c.views.lookup(key)
+}
+
+// InstallView records v as the strand's current view for key. The key must
+// not already have a view in this strand segment (callers look up first).
+func (c *Context) InstallView(key any, v View) {
+	c.views = append(c.views, viewEntry{key: key, v: v})
+}

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one unit of stealable work: a spawned function together with the
+// frame it will execute in.
+type task struct {
+	fn    func(*Context)
+	frame *frame
+}
+
+// frame is the activation record of one spawned function (§3.2: "the
+// subroutine's activation frame containing its local variables"). It tracks
+// the join counter for the frame's outstanding spawned children and the
+// ordered reducer-view bookkeeping needed to fold hyperobject views in
+// serial order at the next sync.
+type frame struct {
+	parent *frame
+	run    *runState
+
+	// pending counts spawned, un-synced children. It is incremented by the
+	// frame's own strand at Spawn and decremented by each child when its
+	// task completes.
+	pending atomic.Int32
+
+	// ordinal is this frame's index in its parent's spawn order within the
+	// parent's current sync region.
+	ordinal int32
+
+	// nextOrdinal counts children spawned in the current sync region. Only
+	// the frame's own strand touches it.
+	nextOrdinal int32
+
+	// depth is the spawn depth below the root, for stack statistics.
+	depth int32
+
+	// sealed[k] holds the parent strand's view segment accumulated
+	// immediately before spawning child k. Only the frame's own strand
+	// touches it (seal at Spawn, fold at Sync), so it needs no lock.
+	sealed []viewMap
+
+	// childViews[k] holds child k's final folded views. Children deposit
+	// concurrently, so it is guarded by redMu; the fold reads it only
+	// after the join counter reaches zero.
+	redMu      sync.Mutex
+	childViews []viewMap
+}
+
+// sealSegment records the strand's current views as the segment preceding
+// child k in serial order. Called only by the frame's own strand.
+func (f *frame) sealSegment(k int32, views viewMap) {
+	f.sealed = storeAt(f.sealed, int(k), views)
+}
+
+// depositChildViews records child k's final views. Called by the child's
+// worker when the child's task completes.
+func (f *frame) depositChildViews(k int32, views viewMap) {
+	f.redMu.Lock()
+	f.childViews = storeAt(f.childViews, int(k), views)
+	f.redMu.Unlock()
+}
+
+// storeAt grows s as needed so that s[k] = v.
+func storeAt(s []viewMap, k int, v viewMap) []viewMap {
+	for len(s) <= k {
+		s = append(s, nil)
+	}
+	s[k] = v
+	return s
+}
+
+// foldViews combines, in exact serial order, all view segments of the
+// current sync region — seg₀ ⊕ child₀ ⊕ seg₁ ⊕ child₁ ⊕ … ⊕ current —
+// and returns the folded map. Must be called only after the join counter
+// has reached zero, so no child is concurrently depositing.
+func (f *frame) foldViews(current viewMap) viewMap {
+	f.redMu.Lock()
+	children := f.childViews
+	f.childViews = nil
+	f.redMu.Unlock()
+	var acc viewMap
+	for k := int32(0); k < f.nextOrdinal; k++ {
+		if int(k) < len(f.sealed) {
+			acc = mergeViews(acc, f.sealed[k])
+		}
+		if int(k) < len(children) {
+			acc = mergeViews(acc, children[k])
+		}
+	}
+	acc = mergeViews(acc, current)
+	f.sealed = nil
+	return acc
+}
+
+// viewMap holds the hyperobject views of one strand segment, keyed by
+// hyperobject identity (a pointer supplied by internal/hyper). Strands
+// typically touch at most a handful of hyperobjects, so a small slice with
+// linear lookup beats a map on both allocation and access cost.
+type viewMap []viewEntry
+
+type viewEntry struct {
+	key any
+	v   View
+}
+
+func (m viewMap) lookup(key any) View {
+	for i := range m {
+		if m[i].key == key {
+			return m[i].v
+		}
+	}
+	return nil
+}
+
+// mergeViews folds right into left in order (left ⊕ right), reusing left's
+// storage. Either side may be nil.
+func mergeViews(left, right viewMap) viewMap {
+	if len(right) == 0 {
+		return left
+	}
+	if len(left) == 0 {
+		return right
+	}
+outer:
+	for _, re := range right {
+		for i := range left {
+			if left[i].key == re.key {
+				left[i].v = left[i].v.Merge(re.v)
+				continue outer
+			}
+		}
+		left = append(left, re)
+	}
+	return left
+}
+
+// View is the per-strand state of a hyperobject (§5): each strand updates a
+// private view without synchronization, and when strands join their views
+// are combined with Merge, which must be associative. Merge receives the
+// view that is later in serial order and returns the combined view (which
+// may be the receiver, updated in place).
+type View interface {
+	Merge(right View) View
+}
+
+// Finalizer is implemented by hyperobject keys that want the computation's
+// final folded view delivered when the root frame completes.
+type Finalizer interface {
+	Finalize(v View)
+}
+
+// runState tracks one Run invocation: completion signaling and the first
+// captured panic.
+type runState struct {
+	done       chan struct{}
+	panicOnce  sync.Once
+	panicVal   any
+	panicStack []byte
+}
+
+// poison records the first panic of the computation.
+func (rs *runState) poison(v any) {
+	rs.panicOnce.Do(func() {
+		rs.panicVal = v
+		rs.panicStack = debug.Stack()
+	})
+}
+
+// finish marks the run complete and releases the Run caller.
+func (rs *runState) finish(rt *Runtime) {
+	rt.mu.Lock()
+	rt.activeRoots--
+	rt.mu.Unlock()
+	close(rs.done)
+}

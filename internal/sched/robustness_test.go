@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPanicInDeeplyNestedChildDrains: a panic deep in the spawn tree must
+// surface as a PanicError only after every outstanding task has finished.
+func TestPanicInDeeplyNestedChildDrains(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	var completed atomic.Int64
+	const width, depth = 4, 5
+	var rec func(c *Context, d int)
+	rec = func(c *Context, d int) {
+		if d == 0 {
+			completed.Add(1)
+			return
+		}
+		for i := 0; i < width; i++ {
+			i := i
+			c.Spawn(func(c *Context) {
+				if d == 3 && i == 1 {
+					panic(fmt.Sprintf("boom at depth %d", d))
+				}
+				rec(c, d-1)
+			})
+		}
+		c.Sync()
+	}
+	err := rt.Run(func(c *Context) { rec(c, depth) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	// A fresh computation on the same runtime must work: no worker died,
+	// no task leaked.
+	var after int64
+	if err := rt.Run(func(c *Context) { fib(c, 12, &after) }); err != nil {
+		t.Fatalf("runtime unusable after panic: %v", err)
+	}
+	if after != fibSerial(12) {
+		t.Fatal("wrong result after recovery")
+	}
+}
+
+// TestPanicInMergeDuringFold: a panic thrown by a reducer's Merge while the
+// runtime folds views at a sync is captured like any other panic.
+func TestPanicInMergeDuringFold(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	key := &poisonKey{}
+	err := rt.Run(func(c *Context) {
+		v := &poisonView{}
+		c.InstallView(key, v)
+		c.Spawn(func(c *Context) {
+			c.InstallView(key, &poisonView{})
+		})
+		c.Sync() // fold calls Merge, which panics
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError from Merge", err)
+	}
+	if pe.Value != "merge exploded" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+}
+
+type poisonKey struct{}
+
+func (*poisonKey) Finalize(View) {}
+
+type poisonView struct{}
+
+func (*poisonView) Merge(View) View { panic("merge exploded") }
+
+// TestShutdownIdempotent: calling Shutdown more than once is safe.
+func TestShutdownIdempotent(t *testing.T) {
+	rt := New(Workers(2))
+	rt.Shutdown()
+	rt.Shutdown()
+}
+
+// TestManyRuntimesSequential: creating and destroying many runtimes leaks
+// no workers that would deadlock later runs.
+func TestManyRuntimesSequential(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		rt := New(Workers(3))
+		var out int64
+		if err := rt.Run(func(c *Context) { fib(c, 10, &out) }); err != nil {
+			t.Fatal(err)
+		}
+		rt.Shutdown()
+	}
+}
+
+// TestNestedCallDepth: deeply nested Call frames track depth and fold views
+// through every level.
+func TestNestedCallDepth(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	key := &fakeKey{}
+	const depth = 400
+	err := rt.Run(func(c *Context) {
+		var rec func(c *Context, d int)
+		rec = func(c *Context, d int) {
+			if d == 0 {
+				appendView(c, key, "x")
+				return
+			}
+			c.Call(func(c *Context) { rec(c, d-1) })
+		}
+		rec(c, depth)
+		if got := c.Depth(); got != 0 {
+			t.Errorf("caller depth = %d after calls returned", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := key.final.Load(); got == nil || got.s != "x" {
+		t.Fatalf("view lost through nested calls: %v", got)
+	}
+}
+
+// TestSpawnFromManyGoroutinesRejected is intentionally absent: Contexts are
+// documented as strand-confined. Instead verify the supported pattern —
+// separate Run calls from separate goroutines — under load.
+func TestConcurrentRunsStress(t *testing.T) {
+	rt := New(Workers(4))
+	defer rt.Shutdown()
+	const runs = 24
+	errs := make(chan error, runs)
+	for i := 0; i < runs; i++ {
+		i := i
+		go func() {
+			var out int64
+			err := rt.Run(func(c *Context) { fib(c, 12+i%4, &out) })
+			if err == nil && out != fibSerial(12+i%4) {
+				err = errors.New("wrong result")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStatsQuiescentConsistency: after all runs finish, every spawned task
+// has run and live-frame counters have returned to zero.
+func TestStatsQuiescentConsistency(t *testing.T) {
+	rt := New(Workers(4))
+	var out int64
+	for i := 0; i < 5; i++ {
+		if err := rt.Run(func(c *Context) { fib(c, 16, &out) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Shutdown()
+	s := rt.Stats()
+	if s.TasksRun != s.Spawns {
+		t.Fatalf("TasksRun %d != Spawns %d at quiescence", s.TasksRun, s.Spawns)
+	}
+	for _, w := range rt.workers {
+		if live := w.ws.liveFrames.Load(); live != 0 {
+			t.Fatalf("worker %d has %d live frames at quiescence", w.id, live)
+		}
+	}
+}
+
+// TestZeroWorkRun: an empty computation completes and reports clean stats.
+func TestZeroWorkRun(t *testing.T) {
+	rt := New(Workers(2))
+	defer rt.Shutdown()
+	if err := rt.Run(func(*Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.Stats(); s.Spawns != 0 || s.Steals != 0 {
+		t.Fatalf("stats = %+v, want all zero", s)
+	}
+}

@@ -1,0 +1,368 @@
+// Package sched implements the Cilk++ work-stealing runtime system (§3 of
+// the paper) as a Go library.
+//
+// A Runtime owns a fixed set of workers, one per processor by default, each
+// an OS-thread-locked goroutine with a private work-stealing deque. A
+// spawned function's task is pushed onto the bottom of the spawning worker's
+// deque; when a worker runs out of work it becomes a thief and steals the
+// top (oldest) task from a randomly chosen victim, so all communication and
+// synchronization is incurred only when a worker runs out of work (§3.2).
+//
+// Deviation from Cilk++ (documented in DESIGN.md): Go cannot capture the
+// continuation of a running function, so Spawn pushes the child task and the
+// parent continues — child stealing, as in TBB and ForkJoinPool — rather
+// than Cilk's continuation stealing. The computation dag, the greedy
+// scheduling bound T_P ≤ T1/P + O(T∞), and the reducer semantics are
+// unaffected; the exact Cilk stack bound is reproduced by the faithful
+// continuation-stealing scheduler in internal/sim.
+//
+// The runtime also supports a serial-elision mode (§1: parallel code
+// "retains its serial semantics when run on one processor") in which Spawn
+// executes the child immediately as an ordinary call on the caller's
+// goroutine, firing instrumentation hooks in depth-first serial order. The
+// Cilkscreen race detector (internal/race) and the Cilkview profiler
+// (internal/cilkview) run programs in this mode.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"cilkgo/internal/deque"
+)
+
+// config collects the options for a Runtime.
+type config struct {
+	workers     int
+	serial      bool
+	hooks       Hooks
+	stealSeed   int64
+	lockThreads bool
+}
+
+// Option configures a Runtime.
+type Option func(*config)
+
+// Workers sets the number of workers (default: runtime.GOMAXPROCS(0)),
+// mirroring the Cilk++ runtime's one-worker-per-processor default, which
+// "the programmer can override" (§3.2).
+func Workers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// SerialElision makes the runtime execute the program as its serial elision:
+// spawns become ordinary calls on the caller's goroutine, in depth-first
+// serial order. Instrumentation hooks fire only in this mode.
+func SerialElision() Option {
+	return func(c *config) { c.serial = true }
+}
+
+// WithHooks installs instrumentation hooks. Hooks require SerialElision;
+// New panics otherwise.
+func WithHooks(h Hooks) Option {
+	return func(c *config) { c.hooks = h }
+}
+
+// StealSeed seeds the workers' random victim selection, making steal-order
+// reproducible for tests. The default seed is 1.
+func StealSeed(seed int64) Option {
+	return func(c *config) { c.stealSeed = seed }
+}
+
+// NoThreadLocking disables runtime.LockOSThread on workers. The default is
+// to lock, mirroring Cilk++'s allocation of one OS thread per processor.
+func NoThreadLocking() Option {
+	return func(c *config) { c.lockThreads = false }
+}
+
+// Runtime is a Cilk work-stealing scheduler instance. Construct with New,
+// submit computations with Run, and release the workers with Shutdown.
+type Runtime struct {
+	cfg     config
+	workers []*worker
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	inject      []*task // root tasks awaiting pickup
+	activeRoots int
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// New creates a runtime and starts its workers. In serial-elision mode no
+// worker goroutines are started; Run executes on the caller's goroutine.
+func New(opts ...Option) *Runtime {
+	cfg := config{
+		workers:     runtime.GOMAXPROCS(0),
+		stealSeed:   1,
+		lockThreads: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		panic(fmt.Sprintf("sched: Workers(%d) out of range", cfg.workers))
+	}
+	if cfg.hooks != nil && !cfg.serial {
+		panic("sched: WithHooks requires SerialElision")
+	}
+	if cfg.serial {
+		cfg.workers = 1
+	}
+	rt := &Runtime{cfg: cfg}
+	rt.cond = sync.NewCond(&rt.mu)
+	if cfg.serial {
+		return rt
+	}
+	rt.workers = make([]*worker, cfg.workers)
+	for i := range rt.workers {
+		rt.workers[i] = &worker{
+			rt:    rt,
+			id:    i,
+			deque: deque.New[task](),
+			rng:   rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
+		}
+	}
+	rt.wg.Add(len(rt.workers))
+	for _, w := range rt.workers {
+		go w.loop()
+	}
+	return rt
+}
+
+// Workers reports the number of workers.
+func (rt *Runtime) Workers() int { return rt.cfg.workers }
+
+// Serial reports whether the runtime runs serial elisions.
+func (rt *Runtime) Serial() bool { return rt.cfg.serial }
+
+// Run executes fn as the root of a fork-join computation and blocks until
+// the computation — including everything it spawned — completes. A panic
+// anywhere in the computation is captured and returned as a *PanicError
+// after all outstanding work has drained. Run may be called concurrently
+// from several goroutines; the computations share the workers (§3.2's
+// performance composability).
+func (rt *Runtime) Run(fn func(*Context)) error {
+	if rt.cfg.serial {
+		return rt.runSerial(fn)
+	}
+	rs := &runState{done: make(chan struct{})}
+	root := &frame{run: rs}
+	t := &task{fn: fn, frame: root}
+
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrShutdown
+	}
+	rt.activeRoots++
+	rt.inject = append(rt.inject, t)
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+
+	<-rs.done
+	if rs.panicVal != nil {
+		return &PanicError{Value: rs.panicVal, Stack: rs.panicStack}
+	}
+	return nil
+}
+
+// runSerial executes fn's serial elision on the caller's goroutine.
+func (rt *Runtime) runSerial(fn func(*Context)) (err error) {
+	rs := &runState{done: make(chan struct{})}
+	root := &frame{run: rs}
+	ctx := &Context{rt: rt, frame: root}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	if h := rt.cfg.hooks; h != nil {
+		h.FrameStart()
+		defer h.FrameEnd()
+	}
+	fn(ctx)
+	ctx.Sync()
+	finalizeViews(ctx.views)
+	return nil
+}
+
+// finalizeViews delivers the computation's folded views to hyperobjects
+// that want them.
+func finalizeViews(views viewMap) {
+	for _, e := range views {
+		if fin, ok := e.key.(Finalizer); ok {
+			fin.Finalize(e.v)
+		}
+	}
+}
+
+// Shutdown stops the workers after in-flight computations finish being
+// picked up. Run must not be called after Shutdown.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// ErrShutdown is returned by Run on a runtime that has been shut down.
+var ErrShutdown = errShutdown{}
+
+type errShutdown struct{}
+
+func (errShutdown) Error() string { return "sched: runtime is shut down" }
+
+// PanicError wraps a panic captured inside a computation submitted to Run.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack of the panicking task, if captured
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: panic in spawned computation: %v", e.Value)
+}
+
+// worker is one scheduler thread with its private deque (§3.2: "each
+// worker's stack operates like a work queue").
+type worker struct {
+	rt    *Runtime
+	id    int
+	deque *deque.Deque[task]
+	rng   *rand.Rand
+	ws    workerStats
+}
+
+// loop is the worker's top-level scheduling loop: drain own deque, take
+// injected roots, steal; park when the runtime is idle.
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	if w.rt.cfg.lockThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	backoff := minBackoff
+	for {
+		if t := w.findTask(); t != nil {
+			w.runTask(t)
+			backoff = minBackoff
+			continue
+		}
+		if !w.idle(&backoff) {
+			return
+		}
+	}
+}
+
+// findTask returns the next task: own deque first (bottom, LIFO), then the
+// injection queue, then one random steal sweep over the other workers.
+func (w *worker) findTask() *task {
+	if t := w.deque.PopBottom(); t != nil {
+		return t
+	}
+	if t := w.takeInjected(); t != nil {
+		return t
+	}
+	return w.stealOnce()
+}
+
+func (w *worker) takeInjected() *task {
+	rt := w.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.inject) == 0 {
+		return nil
+	}
+	t := rt.inject[0]
+	rt.inject = rt.inject[1:]
+	return t
+}
+
+// stealOnce performs one sweep over the other workers in random order,
+// returning the first successfully stolen task, or nil.
+func (w *worker) stealOnce() *task {
+	n := len(w.rt.workers)
+	if n <= 1 {
+		return nil
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		victim := w.rt.workers[(start+i)%n]
+		if victim == w {
+			continue
+		}
+		w.ws.stealAttempts.Add(1)
+		if t := victim.deque.Steal(); t != nil {
+			w.ws.steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+const (
+	minBackoff = time.Microsecond
+	maxBackoff = 200 * time.Microsecond
+)
+
+// idle handles the no-work case: park on the runtime condition variable when
+// no computation is active, otherwise sleep briefly with exponential backoff
+// before the next steal sweep. It returns false when the runtime is closed.
+func (w *worker) idle(backoff *time.Duration) bool {
+	rt := w.rt
+	rt.mu.Lock()
+	for rt.activeRoots == 0 && len(rt.inject) == 0 && !rt.closed {
+		rt.cond.Wait()
+	}
+	closed := rt.closed && rt.activeRoots == 0 && len(rt.inject) == 0
+	rt.mu.Unlock()
+	if closed {
+		return false
+	}
+	time.Sleep(*backoff)
+	if *backoff *= 2; *backoff > maxBackoff {
+		*backoff = maxBackoff
+	}
+	return true
+}
+
+// runTask executes one task to completion: the spawned function's body plus
+// its implicit sync, then deposits the frame's reducer views with the parent
+// and signals the join counter. Panics are captured into the run state and
+// the frame's outstanding children are still drained, so a failed
+// computation never leaves orphan tasks running after Run returns.
+func (w *worker) runTask(t *task) {
+	if t.frame.parent != nil {
+		w.ws.tasksRun.Add(1)
+	}
+	maxStore(&w.ws.maxLiveFrames, w.ws.liveFrames.Add(1))
+	maxStore(&w.ws.maxDepth, int64(t.frame.depth))
+
+	ctx := &Context{w: w, rt: w.rt, frame: t.frame}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.frame.run.poison(r)
+				ctx.syncWait() // drain children even on panic
+			}
+		}()
+		t.fn(ctx)
+		ctx.Sync() // implicit sync before return (§1)
+	}()
+
+	f := t.frame
+	if p := f.parent; p != nil {
+		if len(ctx.views) > 0 {
+			p.depositChildViews(f.ordinal, ctx.views)
+		}
+		p.pending.Add(-1)
+	} else {
+		finalizeViews(ctx.views)
+		f.run.finish(w.rt)
+	}
+	w.ws.liveFrames.Add(-1)
+}

@@ -1,0 +1,63 @@
+package sched
+
+import "sync/atomic"
+
+// workerStats are per-worker counters. Each is written only by its owning
+// worker goroutine; atomic access lets Stats read consistent snapshots while
+// workers are still probing for work.
+type workerStats struct {
+	spawns        atomic.Int64
+	steals        atomic.Int64
+	stealAttempts atomic.Int64
+	tasksRun      atomic.Int64
+	liveFrames    atomic.Int64
+	maxLiveFrames atomic.Int64
+	maxDepth      atomic.Int64
+}
+
+func maxStore(m *atomic.Int64, v int64) {
+	if v > m.Load() {
+		m.Store(v)
+	}
+}
+
+// Stats summarizes scheduler activity since the runtime was created.
+type Stats struct {
+	// Spawns is the total number of Spawn calls.
+	Spawns int64
+	// Steals counts successful steals; StealAttempts counts all steal
+	// probes, successful or not. The ratio Steals/Spawns is the empirical
+	// measure behind §3.2's claim that "stealing is infrequent" when
+	// parallelism exceeds the worker count.
+	Steals        int64
+	StealAttempts int64
+	// TasksRun is the number of spawned tasks executed (excluding Run
+	// roots). It equals Spawns once all submitted computations finish.
+	TasksRun int64
+	// MaxLiveFrames is the maximum, over workers, of simultaneously live
+	// frames on one worker — the runtime's analogue of per-worker stack
+	// depth in the §3.1 space discussion.
+	MaxLiveFrames int64
+	// MaxDepth is the deepest spawn depth observed.
+	MaxDepth int64
+}
+
+// Stats aggregates the per-worker counters. Counters of computations still
+// in flight are included, so take snapshots after Run returns for exact
+// accounting.
+func (rt *Runtime) Stats() Stats {
+	var s Stats
+	for _, w := range rt.workers {
+		s.Spawns += w.ws.spawns.Load()
+		s.Steals += w.ws.steals.Load()
+		s.StealAttempts += w.ws.stealAttempts.Load()
+		s.TasksRun += w.ws.tasksRun.Load()
+		if m := w.ws.maxLiveFrames.Load(); m > s.MaxLiveFrames {
+			s.MaxLiveFrames = m
+		}
+		if m := w.ws.maxDepth.Load(); m > s.MaxDepth {
+			s.MaxDepth = m
+		}
+	}
+	return s
+}

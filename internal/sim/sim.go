@@ -1,0 +1,638 @@
+// Package sim is a deterministic discrete-event simulator of a
+// P-processor machine running Cilk++'s randomized work-stealing scheduler
+// (§3 of the paper), with the continuation-stealing semantics the real
+// Cilk++ runtime implements and the Go runtime cannot (see DESIGN.md).
+//
+// Each virtual processor owns a deque of stealable continuations. Executing
+// a spawn pushes the spawning frame's continuation on the bottom of the
+// deque and dives into the child (the work-first principle). A processor
+// that runs out of work becomes a thief: it picks victims uniformly at
+// random and steals the topmost (shallowest) continuation; each steal
+// attempt costs StealCost units of virtual time, modeling the
+// communication/synchronization that "is incurred only when a worker runs
+// out of work" (§3.2). A frame that stalls at a sync is resumed by the
+// processor whose child return satisfies the join (Cilk's provably good
+// steals), which preserves the busy-leaves property behind the §3.1 space
+// bound S_P ≤ P·S_1.
+//
+// The simulator is single-threaded and fully deterministic given Config:
+// the same program, processor count and seed always produce the same
+// schedule, making the paper's probabilistic bounds (T_P ≤ T1/P + O(T∞))
+// reproducible experiments rather than wall-clock accidents.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cilkgo/internal/vprog"
+)
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Procs is the number of virtual processors (≥ 1).
+	Procs int
+	// StealCost is the virtual time consumed by one steal attempt,
+	// successful or not (≥ 1). It models the cost of inter-processor
+	// communication.
+	StealCost int64
+	// SpawnCost is additional overhead charged to the spawning processor
+	// at every spawn (≥ 0). Zero models the pure dag; positive values
+	// model the "burden" of Cilkview's burdened-parallelism estimate.
+	SpawnCost int64
+	// LockHandoff is the penalty charged when the machine's global mutex
+	// (vprog.Critical segments) is acquired by a different processor than
+	// its previous holder — the cache-line migration behind §5's
+	// contention collapse. Zero models a free lock.
+	LockHandoff int64
+	// Victim selects the steal-victim policy; the default is
+	// VictimRandom, the provably efficient choice the Cilk++ scheduler
+	// uses. The alternatives exist for the ablation benchmarks.
+	Victim VictimPolicy
+	// Scheduler selects the scheduling discipline. The default is
+	// WorkStealing (the paper's scheduler). CentralQueue is the "more
+	// naive scheduler" §3.1 warns about, "which may create a work-queue of
+	// one billion tasks, one for each iteration, ... thus blowing out
+	// physical memory": every spawn eagerly enqueues the child on a global
+	// FIFO and the parent keeps running. Experiment E5 contrasts the two.
+	Scheduler SchedulerPolicy
+	// Seed seeds random victim selection.
+	Seed int64
+	// MaxEvents aborts runaway simulations; 0 means the default (2^31).
+	MaxEvents int64
+	// OfflineAt[i], when nonzero, deschedules processor i at that virtual
+	// time, modeling §3.2's multiprogrammed environment: the processor
+	// finishes its current instruction segment and then takes no further
+	// work, but everything sitting in its deque remains stealable, so "the
+	// work of that worker can be stolen away by other workers". Not
+	// supported together with Critical sections (a descheduled lock holder
+	// would wedge the machine, which is a property of locks, not of the
+	// scheduler).
+	OfflineAt []int64
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	Time          int64 // T_P: virtual completion time of the computation
+	Work          int64 // total Exec cost executed (sanity: equals T1 work)
+	Steals        int64 // successful steals
+	StealAttempts int64 // all steal probes
+	Spawns        int64
+	FramesCreated int64
+	// MaxLiveFrames is the peak number of simultaneously allocated frames —
+	// the cactus-stack occupancy that §3.1 bounds by P·S_1.
+	MaxLiveFrames int64
+	// MaxFrameDepth is the deepest frame (S_1, the serial stack depth).
+	MaxFrameDepth int64
+	// ProcBusy is per-processor busy time (Exec + SpawnCost overheads).
+	ProcBusy []int64
+	Events   int64
+	// Lock statistics for programs with Critical sections (§5's mutex
+	// tree walk): acquisitions, cross-processor handoffs, and the total
+	// virtual time strands spent blocked waiting for the lock.
+	LockAcquisitions int64
+	LockHandoffs     int64
+	LockWait         int64
+}
+
+// Utilization returns the fraction of P·T_P the processors spent busy.
+func (r Result) Utilization() float64 {
+	if r.Time == 0 || len(r.ProcBusy) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range r.ProcBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Time) * float64(len(r.ProcBusy)))
+}
+
+// Speedup returns T1/T_P given the program's work.
+func (r Result) Speedup(work int64) float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(work) / float64(r.Time)
+}
+
+// SchedulerPolicy selects the simulated scheduling discipline.
+type SchedulerPolicy uint8
+
+const (
+	// WorkStealing is the Cilk++ scheduler: per-processor deques,
+	// work-first spawns, randomized stealing.
+	WorkStealing SchedulerPolicy = iota
+	// CentralQueue is the naive eager-task scheduler: spawned children go
+	// to one global FIFO, parents continue past spawns, idle processors
+	// dequeue. Simple and greedy, but its pending-task population — and
+	// hence its memory — grows with the program's total spawn count
+	// rather than with P·S1.
+	CentralQueue
+)
+
+// VictimPolicy selects how a thief picks its victim.
+type VictimPolicy uint8
+
+const (
+	// VictimRandom picks victims uniformly at random — the policy whose
+	// steal bound the paper's performance theorem (eq. 3) relies on.
+	VictimRandom VictimPolicy = iota
+	// VictimRoundRobin cycles deterministically through the other
+	// processors. Simple, but adversarial workloads make all thieves
+	// convoy on the same victims.
+	VictimRoundRobin
+	// VictimLastSuccess retries the last successful victim first and falls
+	// back to random — an affinity heuristic.
+	VictimLastSuccess
+)
+
+// ErrEventBudget is returned when a simulation exceeds MaxEvents.
+var ErrEventBudget = errors.New("sim: event budget exceeded")
+
+// frame is one simulated procedure activation.
+type frame struct {
+	iter    vprog.Frame
+	parent  *frame
+	called  bool // entered via Call: parent resumes on this processor at End
+	pending int  // outstanding spawned children
+	stalled bool // parked at a sync with pending > 0
+	ending  bool // the stalling sync was the implicit one before End
+	depth   int64
+}
+
+// proc is one virtual processor.
+type proc struct {
+	id      int
+	current *frame
+	deque   []*frame // bottom = end of slice; thieves take index 0
+	busy    int64
+	asleep  bool // idle with no steal event scheduled (famine)
+	// releaseOnResume marks that the proc's next resume event ends a
+	// Critical segment and must release the global lock.
+	releaseOnResume bool
+	// Victim-policy state: round-robin cursor and last successful victim.
+	rrNext     int
+	lastVictim int
+}
+
+// lockWaiter is a strand blocked on the global mutex.
+type lockWaiter struct {
+	pr    *proc
+	cost  int64
+	since int64
+}
+
+// event kinds.
+const (
+	evResume = iota // processor finishes its current Exec segment
+	evSteal         // processor performs a steal attempt
+)
+
+type event struct {
+	t    int64
+	seq  int64 // FIFO tie-break for determinism
+	proc int
+	kind int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type simulator struct {
+	cfg      Config
+	procs    []*proc
+	queue    eventQueue
+	seq      int64
+	rng      *rand.Rand
+	res      Result
+	live     int64
+	nonempty int // number of nonempty deques
+	done     bool
+	doneTime int64
+	// Global mutex state for vprog.Critical segments.
+	lockHeld       bool
+	lockLastHolder int
+	lockQueue      []lockWaiter
+	// Central FIFO for the CentralQueue scheduler (head index to avoid
+	// quadratic dequeues).
+	central     []*frame
+	centralHead int
+}
+
+// Run simulates program p on the configured machine and returns the
+// execution's measurements.
+func Run(p vprog.Program, cfg Config) (Result, error) {
+	if cfg.Procs < 1 {
+		return Result{}, fmt.Errorf("sim: Procs = %d, need ≥ 1", cfg.Procs)
+	}
+	if cfg.StealCost < 1 {
+		cfg.StealCost = 1
+	}
+	if cfg.SpawnCost < 0 {
+		return Result{}, fmt.Errorf("sim: negative SpawnCost")
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 31
+	}
+	if cfg.LockHandoff < 0 {
+		return Result{}, fmt.Errorf("sim: negative LockHandoff")
+	}
+	s := &simulator{
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(cfg.Seed ^ 0x6c696b)),
+		lockLastHolder: -1,
+	}
+	s.procs = make([]*proc, cfg.Procs)
+	for i := range s.procs {
+		s.procs[i] = &proc{id: i, lastVictim: -1, rrNext: (i + 1) % cfg.Procs}
+	}
+	s.res.ProcBusy = make([]int64, cfg.Procs)
+
+	root := s.newFrame(p.Root(), nil, false)
+	s.procs[0].current = root
+	s.advance(s.procs[0], 0)
+	// Other processors begin probing immediately; they sleep if there is
+	// nothing to steal.
+	for _, pr := range s.procs[1:] {
+		s.makeIdle(pr, 0)
+	}
+
+	for len(s.queue) > 0 && !s.done {
+		e := heap.Pop(&s.queue).(event)
+		s.res.Events++
+		if s.res.Events > cfg.MaxEvents {
+			return s.res, ErrEventBudget
+		}
+		pr := s.procs[e.proc]
+		switch e.kind {
+		case evResume:
+			s.advance(pr, e.t)
+		case evSteal:
+			s.trySteal(pr, e.t)
+		}
+	}
+	if !s.done {
+		return s.res, errors.New("sim: deadlock — event queue drained before the root completed")
+	}
+	s.res.Time = s.doneTime
+	for i, pr := range s.procs {
+		s.res.ProcBusy[i] = pr.busy
+	}
+	return s.res, nil
+}
+
+func (s *simulator) newFrame(it vprog.Frame, parent *frame, called bool) *frame {
+	f := &frame{iter: it, parent: parent, called: called}
+	if parent != nil {
+		f.depth = parent.depth + 1
+	}
+	s.res.FramesCreated++
+	s.live++
+	if s.live > s.res.MaxLiveFrames {
+		s.res.MaxLiveFrames = s.live
+	}
+	if f.depth+1 > s.res.MaxFrameDepth {
+		s.res.MaxFrameDepth = f.depth + 1
+	}
+	return f
+}
+
+func (s *simulator) schedule(t int64, p int, kind int) {
+	s.seq++
+	heap.Push(&s.queue, event{t: t, seq: s.seq, proc: p, kind: kind})
+}
+
+// pushDeque publishes f as a stealable continuation of processor pr,
+// waking sleeping thieves.
+func (s *simulator) pushDeque(pr *proc, f *frame, t int64) {
+	if len(pr.deque) == 0 {
+		s.nonempty++
+	}
+	pr.deque = append(pr.deque, f)
+	for _, other := range s.procs {
+		if other.asleep {
+			other.asleep = false
+			s.schedule(t+s.cfg.StealCost, other.id, evSteal)
+		}
+	}
+}
+
+func (s *simulator) popDeque(pr *proc) *frame {
+	n := len(pr.deque)
+	if n == 0 {
+		return nil
+	}
+	f := pr.deque[n-1]
+	pr.deque = pr.deque[:n-1]
+	if len(pr.deque) == 0 {
+		s.nonempty--
+	}
+	return f
+}
+
+func (s *simulator) stealTop(victim *proc) *frame {
+	if len(victim.deque) == 0 {
+		return nil
+	}
+	f := victim.deque[0]
+	victim.deque = victim.deque[1:]
+	if len(victim.deque) == 0 {
+		s.nonempty--
+	}
+	return f
+}
+
+// offline reports whether pr has been descheduled by time t.
+func (s *simulator) offline(pr *proc, t int64) bool {
+	return pr.id < len(s.cfg.OfflineAt) && s.cfg.OfflineAt[pr.id] > 0 &&
+		t >= s.cfg.OfflineAt[pr.id]
+}
+
+// deschedule parks pr's current frame back on its deque (stealable) and
+// retires the processor.
+func (s *simulator) deschedule(pr *proc, t int64) {
+	if pr.current != nil {
+		s.pushDeque(pr, pr.current, t)
+		pr.current = nil
+	}
+}
+
+// advance runs processor pr's current frame from virtual time t until the
+// frame blocks, finishes, or begins an Exec segment.
+func (s *simulator) advance(pr *proc, t int64) {
+	if pr.releaseOnResume {
+		pr.releaseOnResume = false
+		s.releaseLock(t)
+	}
+	if s.offline(pr, t) {
+		s.deschedule(pr, t)
+		return
+	}
+	for {
+		if s.done {
+			return
+		}
+		f := pr.current
+		st := f.iter.Next()
+		switch st.Kind {
+		case vprog.Exec:
+			if st.Cost == 0 {
+				continue
+			}
+			s.res.Work += st.Cost
+			pr.busy += st.Cost
+			s.schedule(t+st.Cost, pr.id, evResume)
+			return
+		case vprog.Spawn:
+			s.res.Spawns++
+			child := s.newFrame(st.Child, f, false)
+			f.pending++
+			if s.cfg.Scheduler == CentralQueue {
+				// Naive eager tasking: enqueue the child globally and keep
+				// running the parent past the spawn.
+				s.enqueueCentral(child, t)
+			} else {
+				s.pushDeque(pr, f, t) // continuation becomes stealable
+				pr.current = child    // work-first: dive into the child
+			}
+			if s.cfg.SpawnCost > 0 {
+				pr.busy += s.cfg.SpawnCost
+				s.schedule(t+s.cfg.SpawnCost, pr.id, evResume)
+				return
+			}
+		case vprog.Critical:
+			if st.Cost == 0 {
+				continue
+			}
+			if s.lockHeld {
+				// The strand blocks; the processor spins on the mutex
+				// (it cannot steal while executing a blocked strand).
+				s.lockQueue = append(s.lockQueue, lockWaiter{pr: pr, cost: st.Cost, since: t})
+				return
+			}
+			s.acquireLock(pr, st.Cost, t)
+			return
+		case vprog.Call:
+			pr.current = s.newFrame(st.Child, f, true)
+		case vprog.Sync:
+			if f.pending == 0 {
+				continue
+			}
+			f.stalled = true
+			pr.current = nil
+			s.findLocalWork(pr, t)
+			return
+		case vprog.End:
+			if f.pending > 0 { // implicit sync before return
+				f.stalled = true
+				f.ending = true
+				pr.current = nil
+				s.findLocalWork(pr, t)
+				return
+			}
+			if !s.finishFrame(pr, f, t) {
+				return
+			}
+		default:
+			panic("sim: invalid step kind")
+		}
+	}
+}
+
+// finishFrame completes frame f on processor pr at time t. It returns true
+// when pr has a current frame to keep advancing.
+func (s *simulator) finishFrame(pr *proc, f *frame, t int64) bool {
+	s.live--
+	parent := f.parent
+	if parent == nil {
+		s.done = true
+		s.doneTime = t
+		return false
+	}
+	if f.called {
+		// A called child returns directly into its parent on this
+		// processor; the parent was never stealable meanwhile.
+		pr.current = parent
+		return true
+	}
+	parent.pending--
+	if parent.stalled && parent.pending == 0 {
+		// Provably good steal: the processor satisfying the join resumes
+		// the parent immediately.
+		parent.stalled = false
+		pr.current = parent
+		if parent.ending {
+			parent.ending = false
+			return s.finishFrame(pr, parent, t)
+		}
+		return true
+	}
+	pr.current = nil
+	s.findLocalWork(pr, t)
+	return false
+}
+
+// findLocalWork pops pr's own deque (work stealing) or the global FIFO
+// (central queue), or turns pr into a thief.
+func (s *simulator) findLocalWork(pr *proc, t int64) {
+	if s.cfg.Scheduler == CentralQueue {
+		if f := s.dequeueCentral(); f != nil {
+			pr.current = f
+			s.advance(pr, t)
+			return
+		}
+		s.makeIdle(pr, t)
+		return
+	}
+	if f := s.popDeque(pr); f != nil {
+		pr.current = f
+		s.advance(pr, t)
+		return
+	}
+	s.makeIdle(pr, t)
+}
+
+// enqueueCentral appends a task to the global FIFO and wakes sleepers.
+func (s *simulator) enqueueCentral(f *frame, t int64) {
+	s.central = append(s.central, f)
+	if len(s.central)-s.centralHead == 1 {
+		s.nonempty = 1
+	}
+	for _, other := range s.procs {
+		if other.asleep {
+			other.asleep = false
+			s.schedule(t+s.cfg.StealCost, other.id, evSteal)
+		}
+	}
+}
+
+// dequeueCentral removes the oldest task from the global FIFO.
+func (s *simulator) dequeueCentral() *frame {
+	if s.centralHead >= len(s.central) {
+		return nil
+	}
+	f := s.central[s.centralHead]
+	s.central[s.centralHead] = nil
+	s.centralHead++
+	if s.centralHead >= len(s.central) {
+		s.central = s.central[:0]
+		s.centralHead = 0
+		s.nonempty = 0
+	}
+	return f
+}
+
+// makeIdle schedules pr's next steal attempt, or puts it to sleep when no
+// deque in the machine has anything to steal (it is woken by the next
+// push). Sleeping is a simulation shortcut only: it elides provably
+// fruitless probes without altering any observable timing.
+func (s *simulator) makeIdle(pr *proc, t int64) {
+	if s.nonempty > 0 {
+		s.schedule(t+s.cfg.StealCost, pr.id, evSteal)
+		return
+	}
+	pr.asleep = true
+}
+
+// trySteal performs one steal attempt by pr at time t: the configured
+// policy picks a victim and the thief takes its topmost continuation.
+func (s *simulator) trySteal(pr *proc, t int64) {
+	if pr.current != nil || s.done {
+		return // stale event
+	}
+	if s.offline(pr, t) {
+		return // descheduled: no further probes
+	}
+	s.res.StealAttempts++
+	if s.cfg.Scheduler == CentralQueue {
+		if f := s.dequeueCentral(); f != nil {
+			s.res.Steals++
+			pr.current = f
+			s.advance(pr, t)
+			return
+		}
+		s.makeIdle(pr, t)
+		return
+	}
+	if len(s.procs) > 1 {
+		victim := s.procs[s.victimID(pr)]
+		if f := s.stealTop(victim); f != nil {
+			s.res.Steals++
+			pr.lastVictim = victim.id
+			pr.current = f
+			s.advance(pr, t)
+			return
+		}
+		if victim.id == pr.lastVictim {
+			pr.lastVictim = -1 // affinity went cold
+		}
+	}
+	s.makeIdle(pr, t)
+}
+
+// acquireLock grants the global mutex to pr for a Critical segment of the
+// given cost, charging the handoff penalty when the lock migrates.
+func (s *simulator) acquireLock(pr *proc, cost, t int64) {
+	s.lockHeld = true
+	s.res.LockAcquisitions++
+	total := cost
+	if s.lockLastHolder != pr.id && s.lockLastHolder != -1 {
+		s.res.LockHandoffs++
+		total += s.cfg.LockHandoff
+	}
+	s.lockLastHolder = pr.id
+	s.res.Work += cost
+	pr.busy += total
+	pr.releaseOnResume = true
+	s.schedule(t+total, pr.id, evResume)
+}
+
+// releaseLock frees the mutex and grants it to the longest-waiting strand,
+// if any.
+func (s *simulator) releaseLock(t int64) {
+	if len(s.lockQueue) == 0 {
+		s.lockHeld = false
+		return
+	}
+	w := s.lockQueue[0]
+	s.lockQueue = s.lockQueue[1:]
+	s.res.LockWait += t - w.since
+	s.lockHeld = false
+	s.acquireLock(w.pr, w.cost, t)
+}
+
+// victimID applies the configured victim-selection policy for thief pr.
+func (s *simulator) victimID(pr *proc) int {
+	switch s.cfg.Victim {
+	case VictimRoundRobin:
+		v := pr.rrNext
+		if v == pr.id {
+			v = (v + 1) % len(s.procs)
+		}
+		pr.rrNext = (v + 1) % len(s.procs)
+		return v
+	case VictimLastSuccess:
+		if pr.lastVictim >= 0 && pr.lastVictim != pr.id {
+			return pr.lastVictim
+		}
+		fallthrough
+	default:
+		v := s.rng.Intn(len(s.procs) - 1)
+		if v >= pr.id {
+			v++
+		}
+		return v
+	}
+}

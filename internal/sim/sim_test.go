@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cilkgo/internal/vprog"
+)
+
+func mustRun(t *testing.T, p vprog.Program, cfg Config) Result {
+	t.Helper()
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", p.Name, err)
+	}
+	return r
+}
+
+func TestSingleProcessorIsSerialTime(t *testing.T) {
+	// On one processor with no spawn overhead, T_1 equals the work exactly
+	// and nothing is ever stolen.
+	for _, p := range []vprog.Program{
+		vprog.Fib(12),
+		vprog.Qsort(2000, 1, 16),
+		vprog.LoopSpawn(500, 7),
+	} {
+		m := vprog.Analyze(p)
+		r := mustRun(t, p, Config{Procs: 1, Seed: 1})
+		if r.Time != m.Work {
+			t.Fatalf("%s: T_1 = %d, want work %d", p.Name, r.Time, m.Work)
+		}
+		if r.Steals != 0 {
+			t.Fatalf("%s: %d steals on one processor", p.Name, r.Steals)
+		}
+		if r.Work != m.Work {
+			t.Fatalf("%s: executed work %d, want %d", p.Name, r.Work, m.Work)
+		}
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	p := vprog.Fib(14)
+	m := vprog.Analyze(p)
+	r := mustRun(t, p, Config{Procs: 4, Seed: 3})
+	var busy int64
+	for _, b := range r.ProcBusy {
+		busy += b
+	}
+	if busy != m.Work {
+		t.Fatalf("Σbusy = %d, want work %d", busy, m.Work)
+	}
+	if r.Spawns != m.Spawns {
+		t.Fatalf("Spawns = %d, want %d", r.Spawns, m.Spawns)
+	}
+	if r.FramesCreated != m.Frames {
+		t.Fatalf("FramesCreated = %d, want %d", r.FramesCreated, m.Frames)
+	}
+}
+
+func TestWorkAndSpanLaws(t *testing.T) {
+	// E12: T_P ≥ T1/P (Work Law) and T_P ≥ T∞ (Span Law) on every run.
+	for _, p := range []vprog.Program{
+		vprog.Fib(14),
+		vprog.Qsort(5000, 2, 16),
+		vprog.PFor(4096, 3, 8),
+	} {
+		m := vprog.Analyze(p)
+		for _, procs := range []int{1, 2, 4, 8, 16} {
+			r := mustRun(t, p, Config{Procs: procs, Seed: 9})
+			if r.Time*int64(procs) < m.Work {
+				t.Fatalf("%s P=%d: Work Law violated: T_P=%d, T1=%d", p.Name, procs, r.Time, m.Work)
+			}
+			if r.Time < m.Span {
+				t.Fatalf("%s P=%d: Span Law violated: T_P=%d, T∞=%d", p.Name, procs, r.Time, m.Span)
+			}
+		}
+	}
+}
+
+func TestNearLinearSpeedupWhenParallelismHigh(t *testing.T) {
+	// §3.1: if T1/T∞ ≫ P, speedup ≈ P. pfor(1e5) has parallelism in the
+	// thousands; at P=8 utilization should be near 1.
+	p := vprog.PFor(100_000, 10, 32)
+	m := vprog.Analyze(p)
+	if m.Parallelism < 100 {
+		t.Fatalf("setup: parallelism = %.0f too low", m.Parallelism)
+	}
+	r := mustRun(t, p, Config{Procs: 8, Seed: 4})
+	speedup := r.Speedup(m.Work)
+	if speedup < 7 {
+		t.Fatalf("speedup = %.2f at P=8 with parallelism %.0f, want ≥ 7", speedup, m.Parallelism)
+	}
+}
+
+func TestSpeedupCappedByParallelism(t *testing.T) {
+	// §2.3: speedup cannot exceed T1/T∞. A 50%-serial program speeds up at
+	// most ×2 even on 64 processors.
+	p := vprog.SerialParallel(50_000, 50_000, 64)
+	m := vprog.Analyze(p)
+	r := mustRun(t, p, Config{Procs: 64, Seed: 5})
+	speedup := r.Speedup(m.Work)
+	if speedup > m.Parallelism+0.01 {
+		t.Fatalf("speedup %.2f exceeds parallelism %.2f", speedup, m.Parallelism)
+	}
+	if speedup < 1.5 {
+		t.Fatalf("speedup %.2f unexpectedly low", speedup)
+	}
+}
+
+func TestGreedyBound(t *testing.T) {
+	// E4: T_P ≤ T1/P + c·T∞ with a modest constant when steals are cheap.
+	for _, tc := range []struct {
+		p     vprog.Program
+		procs int
+	}{
+		{vprog.Fib(16), 4},
+		{vprog.Fib(16), 16},
+		{vprog.Qsort(20000, 7, 32), 8},
+		{vprog.LoopSpawn(3000, 20), 8},
+		{vprog.PFor(10000, 5, 16), 32},
+	} {
+		m := vprog.Analyze(tc.p)
+		r := mustRun(t, tc.p, Config{Procs: tc.procs, StealCost: 1, Seed: 11})
+		bound := m.Work/int64(tc.procs) + 8*m.Span
+		if r.Time > bound {
+			t.Fatalf("%s P=%d: T_P=%d exceeds T1/P + 8·T∞ = %d (T1=%d T∞=%d)",
+				tc.p.Name, tc.procs, r.Time, bound, m.Work, m.Span)
+		}
+	}
+}
+
+func TestStealFrequencyScalesWithSpan(t *testing.T) {
+	// §3.2: "stealing is infrequent" when parallelism is ample — the
+	// expected number of steals is O(P·T∞), far below the number of spawns.
+	p := vprog.PFor(1_000_000, 10, 64)
+	m := vprog.Analyze(p)
+	const procs = 8
+	r := mustRun(t, p, Config{Procs: procs, Seed: 6})
+	if r.Steals == 0 {
+		t.Fatal("expected some steals at P=8")
+	}
+	limit := 4 * int64(procs) * m.Span
+	if r.Steals > limit {
+		t.Fatalf("steals = %d exceed 4·P·T∞ = %d", r.Steals, limit)
+	}
+	if r.Steals*10 > r.Spawns {
+		t.Fatalf("steals (%d) should be a small fraction of spawns (%d)", r.Steals, r.Spawns)
+	}
+}
+
+func TestStackBoundLoopSpawn(t *testing.T) {
+	// E5: the §3.1 example — a loop spawning a huge number of children —
+	// must not materialize the iteration space. Live frames stay ≤ P·S1
+	// (+1 transient: the child created at a spawn is live for an instant
+	// before its parent's continuation can be resumed elsewhere).
+	p := vprog.LoopSpawn(200_000, 3)
+	m := vprog.Analyze(p)
+	for _, procs := range []int{1, 2, 4, 8} {
+		r := mustRun(t, p, Config{Procs: procs, Seed: 8})
+		bound := int64(procs)*m.MaxDepth + 1
+		if r.MaxLiveFrames > bound {
+			t.Fatalf("P=%d: MaxLiveFrames = %d exceeds P·S1+1 = %d", procs, r.MaxLiveFrames, bound)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := vprog.Qsort(30000, 9, 32)
+	a := mustRun(t, p, Config{Procs: 8, Seed: 42})
+	b := mustRun(t, p, Config{Procs: 8, Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+	c := mustRun(t, p, Config{Procs: 8, Seed: 43})
+	if reflect.DeepEqual(a.Steals, c.Steals) && a.Time == c.Time && a.StealAttempts == c.StealAttempts {
+		t.Log("different seeds produced identical schedules (possible but unlikely)")
+	}
+}
+
+func TestStealCostSlowsExecution(t *testing.T) {
+	p := vprog.Fib(16)
+	cheap := mustRun(t, p, Config{Procs: 8, StealCost: 1, Seed: 2})
+	dear := mustRun(t, p, Config{Procs: 8, StealCost: 200, Seed: 2})
+	if dear.Time < cheap.Time {
+		t.Fatalf("raising StealCost sped things up: %d < %d", dear.Time, cheap.Time)
+	}
+}
+
+func TestSpawnCostBurden(t *testing.T) {
+	// SpawnCost inflates T1 by exactly spawns·cost on one processor.
+	p := vprog.Fib(12)
+	m := vprog.Analyze(p)
+	r := mustRun(t, p, Config{Procs: 1, SpawnCost: 5, Seed: 1})
+	if want := m.Work + 5*m.Spawns; r.Time != want {
+		t.Fatalf("burdened T1 = %d, want %d", r.Time, want)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	_, err := Run(vprog.Fib(20), Config{Procs: 2, Seed: 1, MaxEvents: 100})
+	if err != ErrEventBudget {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := Run(vprog.Fib(3), Config{Procs: 0}); err == nil {
+		t.Fatal("Procs=0 must error")
+	}
+	if _, err := Run(vprog.Fib(3), Config{Procs: 1, SpawnCost: -1}); err == nil {
+		t.Fatal("negative SpawnCost must error")
+	}
+}
+
+// Property: on random programs and machine sizes, every law holds — work
+// conservation, Work Law, Span Law, and the busy-leaves space bound.
+func TestQuickLawsRandomPrograms(t *testing.T) {
+	f := func(seed uint64, procsRaw uint8) bool {
+		procs := int(procsRaw)%16 + 1
+		p := vprog.RandomFJ(seed, 5)
+		m := vprog.Analyze(p)
+		r, err := Run(p, Config{Procs: procs, Seed: int64(seed)})
+		if err != nil {
+			return false
+		}
+		if r.Work != m.Work {
+			return false
+		}
+		if r.Time*int64(procs) < m.Work || r.Time < m.Span {
+			return false
+		}
+		if r.MaxLiveFrames > int64(procs)*m.MaxDepth+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimFib18P8(b *testing.B) {
+	p := vprog.Fib(18)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Config{Procs: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCriticalSectionsSerialize(t *testing.T) {
+	// Two spawned strands each holding the lock for 100 units cannot
+	// overlap: T_P ≥ 200 even on many processors.
+	p := vprog.Program{Name: "twolocks", Root: func() vprog.Frame {
+		return vprog.Seq(
+			vprog.Step{Kind: vprog.Spawn, Child: vprog.Seq(vprog.Step{Kind: vprog.Critical, Cost: 100})},
+			vprog.Step{Kind: vprog.Spawn, Child: vprog.Seq(vprog.Step{Kind: vprog.Critical, Cost: 100})},
+			vprog.Step{Kind: vprog.Sync},
+		)
+	}}
+	r := mustRun(t, p, Config{Procs: 8, Seed: 1})
+	if r.Time < 200 {
+		t.Fatalf("T_P = %d, but two 100-unit critical sections must serialize", r.Time)
+	}
+	if r.LockAcquisitions != 2 {
+		t.Fatalf("LockAcquisitions = %d, want 2", r.LockAcquisitions)
+	}
+}
+
+func TestLockHandoffCharged(t *testing.T) {
+	p := vprog.TreeWalkLocked(2000, 5, 2, 10, 900)
+	base := mustRun(t, p, Config{Procs: 4, Seed: 2, LockHandoff: 0})
+	dear := mustRun(t, p, Config{Procs: 4, Seed: 2, LockHandoff: 500})
+	if dear.Time <= base.Time {
+		t.Fatalf("handoff cost did not slow the mutex walk: %d vs %d", dear.Time, base.Time)
+	}
+	if dear.LockHandoffs == 0 {
+		t.Fatal("no lock handoffs recorded at P=4")
+	}
+	solo := mustRun(t, p, Config{Procs: 1, Seed: 2, LockHandoff: 500})
+	if solo.LockHandoffs != 0 {
+		t.Fatalf("P=1 recorded %d handoffs; the lock never migrates", solo.LockHandoffs)
+	}
+}
+
+// TestMutexCollapseVsReducer reproduces §5's anecdote in the simulator:
+// with a hot output list and realistic lock-migration cost, the mutex walk
+// on 4 processors is SLOWER than on one, while the identical walk with a
+// reducer (no lock) speeds up.
+func TestMutexCollapseVsReducer(t *testing.T) {
+	const (
+		nodes   = 30_000
+		check   = 8
+		app     = 12
+		hit     = 900 // 90% of nodes append: a hot list
+		handoff = 300 // cache-line migration dwarfs the critical section
+	)
+	locked := vprog.TreeWalkLocked(nodes, 9, check, app, hit)
+	free := vprog.TreeWalk(nodes, 9, check, app, hit)
+
+	lock1 := mustRun(t, locked, Config{Procs: 1, Seed: 3, LockHandoff: handoff})
+	lock4 := mustRun(t, locked, Config{Procs: 4, Seed: 3, LockHandoff: handoff})
+	if lock4.Time <= lock1.Time {
+		t.Fatalf("expected contention collapse: T_4 = %d not worse than T_1 = %d", lock4.Time, lock1.Time)
+	}
+
+	red1 := mustRun(t, free, Config{Procs: 1, Seed: 3})
+	red4 := mustRun(t, free, Config{Procs: 4, Seed: 3})
+	speedup := float64(red1.Time) / float64(red4.Time)
+	if speedup < 3 {
+		t.Fatalf("reducer walk speedup at P=4 = %.2f, want ≥ 3", speedup)
+	}
+}
+
+// TestCentralQueueBlowsUpLiveFrames reproduces §3.1's contrast: on the
+// loop-spawn example, the naive central-queue scheduler materializes the
+// whole iteration space (live frames ≈ n), while work stealing keeps live
+// frames at O(P·S1).
+func TestCentralQueueBlowsUpLiveFrames(t *testing.T) {
+	// Each iteration costs 1 unit to spawn but 100 to execute, so the
+	// naive producer outruns its 4 consumers and the queue accretes.
+	const n = 50_000
+	p := vprog.LoopSpawn(n, 100)
+	naive := mustRun(t, p, Config{Procs: 4, Seed: 1, Scheduler: CentralQueue})
+	steal := mustRun(t, p, Config{Procs: 4, Seed: 1})
+	if naive.MaxLiveFrames < n/2 {
+		t.Fatalf("central queue live frames = %d, expected ≈ n = %d", naive.MaxLiveFrames, n)
+	}
+	if steal.MaxLiveFrames > 16 {
+		t.Fatalf("work stealing live frames = %d, expected O(P·S1)", steal.MaxLiveFrames)
+	}
+	if naive.Work != steal.Work {
+		t.Fatalf("schedulers executed different work: %d vs %d", naive.Work, steal.Work)
+	}
+}
+
+// TestCentralQueueCorrectness: the naive scheduler still computes the full
+// program (work conservation, laws hold) — it is only its space that is bad.
+func TestCentralQueueCorrectness(t *testing.T) {
+	for _, prog := range []vprog.Program{
+		vprog.Fib(14),
+		vprog.Qsort(3000, 2, 16),
+	} {
+		m := vprog.Analyze(prog)
+		for _, procs := range []int{1, 4} {
+			r := mustRun(t, prog, Config{Procs: procs, Seed: 5, Scheduler: CentralQueue})
+			if r.Work != m.Work {
+				t.Fatalf("%s: central-queue work %d != %d", prog.Name, r.Work, m.Work)
+			}
+			if r.Time*int64(procs) < m.Work || r.Time < m.Span {
+				t.Fatalf("%s: laws violated under central queue", prog.Name)
+			}
+		}
+	}
+}
+
+// TestMultiprogrammingAdaptation reproduces §3.2: when a worker is
+// descheduled by the OS mid-run, its queued work is stolen by the others
+// and the computation completes with throughput proportional to the
+// processors that remain — Cilk++ programs "play nicely" with other jobs.
+func TestMultiprogrammingAdaptation(t *testing.T) {
+	p := vprog.PFor(200_000, 10, 64)
+	m := vprog.Analyze(p)
+	healthy := mustRun(t, p, Config{Procs: 8, Seed: 6})
+
+	// Deschedule two of the eight processors a quarter of the way in.
+	off := make([]int64, 8)
+	off[3] = healthy.Time / 4
+	off[6] = healthy.Time / 4
+	degraded := mustRun(t, p, Config{Procs: 8, Seed: 6, OfflineAt: off})
+
+	if degraded.Work != m.Work {
+		t.Fatalf("descheduled run lost work: %d vs %d", degraded.Work, m.Work)
+	}
+	if degraded.Time <= healthy.Time {
+		t.Fatalf("losing 2 of 8 processors cannot speed things up: %d vs %d",
+			degraded.Time, healthy.Time)
+	}
+	// Ideal adapted time: a quarter at 8 processors, the rest at 6.
+	ideal := healthy.Time/4 + (m.Work-(healthy.Time/4)*8)/6
+	if degraded.Time > ideal*5/4 {
+		t.Fatalf("adaptation poor: T=%d vs adapted ideal %d", degraded.Time, ideal)
+	}
+	// The descheduled processors did strictly less work.
+	if degraded.ProcBusy[3] >= healthy.ProcBusy[3] {
+		t.Fatalf("offline processor kept working: %d vs %d",
+			degraded.ProcBusy[3], healthy.ProcBusy[3])
+	}
+}
+
+// TestOfflineFromStart: a processor descheduled from t=0 contributes
+// nothing; the rest absorb all work.
+func TestOfflineFromStart(t *testing.T) {
+	p := vprog.Fib(16)
+	off := make([]int64, 4)
+	off[2] = 1
+	r := mustRun(t, p, Config{Procs: 4, Seed: 2, OfflineAt: off})
+	m := vprog.Analyze(p)
+	if r.Work != m.Work {
+		t.Fatalf("work lost: %d vs %d", r.Work, m.Work)
+	}
+	if r.ProcBusy[2] > m.Work/100 {
+		t.Fatalf("offline-from-start processor did %d work", r.ProcBusy[2])
+	}
+}

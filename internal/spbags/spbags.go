@@ -1,0 +1,148 @@
+// Package spbags implements the SP-bags algorithm of Feng and Leiserson
+// ("Efficient detection of determinacy races in Cilk programs", SPAA 1997),
+// the provably good algorithm underlying the Cilkscreen race detector (§4
+// of the paper).
+//
+// SP-bags maintains, during a single serial depth-first execution of a
+// fork-join program, enough information to answer in amortized O(α) time:
+// is previously executed work of procedure F in series or logically in
+// parallel with the instruction executing right now?
+//
+// Every procedure F owns two bags of procedures, both represented as sets
+// in one disjoint-set forest:
+//
+//	S-bag S_F: procedures whose completed work precedes (is in series
+//	           with) the strand currently executing in F's subcomputation;
+//	P-bag P_F: procedures whose completed work operates logically in
+//	           parallel with that strand.
+//
+// The bags evolve under four events of the serial execution:
+//
+//	spawn/call of F:          S_F ← {F};  P_F ← ∅
+//	sync in F:                S_F ← S_F ∪ P_F;  P_F ← ∅
+//	spawned F′ returns to F:  P_F ← P_F ∪ S_F′
+//	called  F′ returns to F:  S_F ← S_F ∪ S_F′
+//
+// (On return P_F′ is always empty because every Cilk procedure syncs
+// implicitly before returning.) The SP-bags theorem: at any moment of the
+// serial execution, the already-executed work of procedure X is in series
+// with the current instruction iff X is in an S-bag.
+package spbags
+
+import (
+	"fmt"
+
+	"cilkgo/internal/dsu"
+)
+
+// Proc is a dense procedure handle issued by NewProc.
+type Proc int32
+
+// None is the null procedure, usable as an "empty shadow slot" sentinel.
+const None Proc = -1
+
+// kind tags the bag a disjoint set currently constitutes.
+type kind int8
+
+const (
+	kindS kind = iota
+	kindP
+)
+
+// Bags maintains SP-bags state for one serial execution.
+type Bags struct {
+	forest dsu.Forest
+	// bagKind[r] is the kind of the bag whose set representative is r; it
+	// is meaningful only when r is a current representative.
+	bagKind []kind
+	// sRep[f] / pRep[f] hold an element of procedure f's S-/P-bag, or -1
+	// when the P-bag is empty. (The S-bag is never empty: it contains f.)
+	sRep []int32
+	pRep []int32
+}
+
+// New returns an empty SP-bags structure.
+func New() *Bags {
+	return &Bags{}
+}
+
+// NewProc registers a procedure at its spawn or call: S_F ← {F}, P_F ← ∅.
+func (b *Bags) NewProc() Proc {
+	e := b.forest.MakeSet()
+	if int(e) != len(b.bagKind) {
+		panic("spbags: forest element allocation out of step")
+	}
+	b.bagKind = append(b.bagKind, kindS)
+	b.sRep = append(b.sRep, e)
+	b.pRep = append(b.pRep, -1)
+	return Proc(e)
+}
+
+// Procs reports the number of registered procedures.
+func (b *Bags) Procs() int { return len(b.sRep) }
+
+func (b *Bags) check(f Proc) {
+	if f < 0 || int(f) >= len(b.sRep) {
+		panic(fmt.Sprintf("spbags: procedure %d out of range [0,%d)", f, len(b.sRep)))
+	}
+}
+
+// Sync records a sync in procedure f: S_f ← S_f ∪ P_f, P_f ← ∅. Everything
+// that ran in parallel with f's strand before the sync is in series with it
+// afterwards.
+func (b *Bags) Sync(f Proc) {
+	b.check(f)
+	if b.pRep[f] == -1 {
+		return
+	}
+	r := b.forest.Union(b.sRep[f], b.pRep[f])
+	b.bagKind[r] = kindS
+	b.sRep[f] = r
+	b.pRep[f] = -1
+}
+
+// ReturnSpawned records a spawned child returning to its parent:
+// P_parent ← P_parent ∪ S_child. The child's completed work runs logically
+// in parallel with the parent's continuation until the parent syncs.
+func (b *Bags) ReturnSpawned(parent, child Proc) {
+	b.check(parent)
+	b.check(child)
+	if b.pRep[child] != -1 {
+		panic("spbags: spawned child returned with a nonempty P-bag (missing implicit sync)")
+	}
+	var r int32
+	if b.pRep[parent] == -1 {
+		r = b.forest.Find(b.sRep[child])
+	} else {
+		r = b.forest.Union(b.pRep[parent], b.sRep[child])
+	}
+	b.bagKind[r] = kindP
+	b.pRep[parent] = r
+}
+
+// ReturnCalled records a called (not spawned) child returning to its
+// parent: S_parent ← S_parent ∪ S_child. A call is serial, so the child's
+// completed work is in series with everything that follows in the parent.
+func (b *Bags) ReturnCalled(parent, child Proc) {
+	b.check(parent)
+	b.check(child)
+	if b.pRep[child] != -1 {
+		panic("spbags: called child returned with a nonempty P-bag (missing implicit sync)")
+	}
+	r := b.forest.Union(b.sRep[parent], b.sRep[child])
+	b.bagKind[r] = kindS
+	b.sRep[parent] = r
+}
+
+// InSeries reports whether procedure x's already-executed work is in series
+// with the instruction currently executing, i.e. whether x is in an S-bag.
+func (b *Bags) InSeries(x Proc) bool {
+	b.check(x)
+	return b.bagKind[b.forest.Find(int32(x))] == kindS
+}
+
+// InParallel reports whether procedure x's already-executed work operates
+// logically in parallel with the current instruction (x is in a P-bag).
+// This is the race-detection predicate: an access recorded by x and an
+// access by the current strand to the same location race iff InParallel(x).
+func (b *Bags) InParallel(x Proc) bool { return !b.InSeries(x) }

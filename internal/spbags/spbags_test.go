@@ -1,0 +1,207 @@
+package spbags
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cilkgo/internal/dag"
+)
+
+// TestSpawnParallelUntilSync walks the canonical sequence: a parent spawns a
+// child; after the child returns its work is parallel with the parent's
+// continuation, and becomes serial after the sync.
+func TestSpawnParallelUntilSync(t *testing.T) {
+	b := New()
+	parent := b.NewProc()
+	child := b.NewProc()
+	// child executes and returns (implicitly synced, empty P-bag).
+	b.ReturnSpawned(parent, child)
+	if !b.InParallel(child) {
+		t.Fatal("returned spawned child must be in a P-bag before the sync")
+	}
+	if !b.InSeries(parent) {
+		t.Fatal("the executing procedure itself is always in series")
+	}
+	b.Sync(parent)
+	if !b.InSeries(child) {
+		t.Fatal("after sync the child's work must be in series")
+	}
+}
+
+func TestCalledChildIsSerial(t *testing.T) {
+	b := New()
+	parent := b.NewProc()
+	child := b.NewProc()
+	b.ReturnCalled(parent, child)
+	if !b.InSeries(child) {
+		t.Fatal("a called child's work is serial with the continuation")
+	}
+}
+
+func TestNestedSpawnMergesThroughImplicitSync(t *testing.T) {
+	// parent spawns F; F spawns G; G returns to F (parallel inside F);
+	// F syncs implicitly before returning; F returns to parent: both F and
+	// G must now be parallel with the parent's continuation.
+	b := New()
+	parent := b.NewProc()
+	f := b.NewProc()
+	g := b.NewProc()
+	b.ReturnSpawned(f, g)
+	if !b.InParallel(g) {
+		t.Fatal("G parallel with F's continuation")
+	}
+	b.Sync(f) // F's implicit sync before return
+	if !b.InSeries(g) {
+		t.Fatal("after F's sync, G serial within F")
+	}
+	b.ReturnSpawned(parent, f)
+	if !b.InParallel(f) || !b.InParallel(g) {
+		t.Fatal("F and G must both be parallel with parent's continuation")
+	}
+	b.Sync(parent)
+	if !b.InSeries(f) || !b.InSeries(g) {
+		t.Fatal("after parent's sync, F and G serial")
+	}
+}
+
+func TestTwoSiblingsBothParallel(t *testing.T) {
+	b := New()
+	parent := b.NewProc()
+	c1 := b.NewProc()
+	b.ReturnSpawned(parent, c1)
+	c2 := b.NewProc()
+	// While c2 executes, c1 is parallel with it.
+	if !b.InParallel(c1) {
+		t.Fatal("completed sibling must be parallel with executing sibling")
+	}
+	b.Sync(c2) // c2's implicit sync (no children): no-op
+	b.ReturnSpawned(parent, c2)
+	if !b.InParallel(c1) || !b.InParallel(c2) {
+		t.Fatal("both siblings parallel with parent's continuation")
+	}
+}
+
+func TestSyncEmptyPBagIsNoop(t *testing.T) {
+	b := New()
+	p := b.NewProc()
+	b.Sync(p)
+	b.Sync(p)
+	if !b.InSeries(p) {
+		t.Fatal("procedure must stay in its own S-bag")
+	}
+}
+
+func TestReturnSpawnedWithUnsyncedChildPanics(t *testing.T) {
+	b := New()
+	parent := b.NewProc()
+	f := b.NewProc()
+	g := b.NewProc()
+	b.ReturnSpawned(f, g) // F now has a nonempty P-bag
+	defer func() {
+		if recover() == nil {
+			t.Fatal("returning a spawned child with nonempty P-bag must panic")
+		}
+	}()
+	b.ReturnSpawned(parent, f)
+}
+
+func TestProcRangeChecks(t *testing.T) {
+	b := New()
+	b.NewProc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range proc must panic")
+		}
+	}()
+	b.InSeries(Proc(5))
+}
+
+// spExec runs a randomly generated fork-join program serially, maintaining
+// SP-bags and the ground-truth dag in lockstep, and checks at every executed
+// instruction that the SP-bags classification of every previously executed
+// instruction matches dag reachability. This is the SP-bags theorem as a
+// property test.
+type spExec struct {
+	bags *Bags
+	bld  *dag.Builder
+	rng  *rand.Rand
+	// trace records (procedure, dag node) for every executed instruction.
+	procs []Proc
+	nodes []dag.Node
+	fail  string
+}
+
+func (e *spExec) step(cur Proc) {
+	node := e.bld.Step(1)
+	g := e.bld.Graph()
+	for i, p := range e.procs {
+		wantSeries := g.Precedes(e.nodes[i], node)
+		if got := e.bags.InSeries(p); got != wantSeries && e.fail == "" {
+			e.fail = "SP-bags disagrees with dag reachability"
+		}
+	}
+	e.procs = append(e.procs, cur)
+	e.nodes = append(e.nodes, node)
+}
+
+func (e *spExec) run(depth int) Proc {
+	cur := e.bags.NewProc()
+	nOps := e.rng.Intn(6) + 1
+	for op := 0; op < nOps; op++ {
+		switch r := e.rng.Intn(5); {
+		case r == 0 && depth < 4: // spawn
+			e.bld.Spawn()
+			child := e.run(depth + 1)
+			e.bld.Return()
+			e.bags.ReturnSpawned(cur, child)
+		case r == 1 && depth < 4: // call
+			e.bld.Call()
+			child := e.run(depth + 1)
+			e.bld.ReturnCall()
+			e.bags.ReturnCalled(cur, child)
+		case r == 2: // sync
+			e.bld.Sync()
+			e.bags.Sync(cur)
+		default:
+			e.step(cur)
+		}
+	}
+	// implicit sync before return
+	e.bags.Sync(cur)
+	return cur
+}
+
+func TestQuickAgainstDagModel(t *testing.T) {
+	f := func(seed int64) bool {
+		e := &spExec{
+			bags: New(),
+			bld:  dag.NewBuilder(),
+			rng:  rand.New(rand.NewSource(seed)),
+		}
+		e.run(0)
+		if e.fail != "" {
+			t.Logf("seed %d: %s", seed, e.fail)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSPBagsEvents(b *testing.B) {
+	bags := New()
+	root := bags.NewProc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := bags.NewProc()
+		bags.Sync(child)
+		bags.ReturnSpawned(root, child)
+		if i%8 == 0 {
+			bags.Sync(root)
+		}
+		bags.InSeries(child)
+	}
+}

@@ -1,0 +1,169 @@
+// Package sporder implements the SP-order algorithm of Bender, Fineman,
+// Gilbert and Leiserson (SPAA 2004) — reference [2] of the paper — which
+// maintains series-parallel relationships during a serial execution of a
+// fork-join program using two order-maintenance lists.
+//
+// Every strand receives a node in an "English" order (subtrees
+// left-to-right: exactly serial execution order) and a "Hebrew" order
+// (spawned subtrees after their parent's continuation). The SP-order
+// theorem: strand x precedes strand y in the dag iff x comes before y in
+// BOTH orders; otherwise they are logically in parallel.
+//
+// Compared with SP-bags (internal/spbags), SP-order answers queries between
+// ANY two recorded strands — not only a past strand versus the currently
+// executing one — at the cost of two order-maintenance insertions per
+// spawn. Both algorithms are exposed to the race detector as backends and
+// cross-validated against each other and the explicit dag model.
+package sporder
+
+import (
+	"cilkgo/internal/om"
+)
+
+// Strand is a dense handle for one maximal serial instruction sequence.
+type Strand int32
+
+// SP maintains the two orders during a serial execution driven by the
+// runtime's hook events (FrameStart/FrameEnd/CallStart/CallEnd/Sync).
+type SP struct {
+	eng, heb   *om.List
+	engN, hebN []*om.Node // per-strand order nodes
+	frames     []spFrame
+}
+
+// spFrame is the per-activation bookkeeping: the frame's current strand and
+// the pending join strand of its open sync region.
+type spFrame struct {
+	cur   Strand
+	joinE *om.Node // nil when no spawn has occurred since the last sync
+	joinH *om.Node
+	join  Strand
+}
+
+// New returns an SP structure positioned in the root frame's first strand.
+func New() *SP {
+	eng, engBase := om.New()
+	heb, hebBase := om.New()
+	sp := &SP{eng: eng, heb: heb}
+	root := sp.newStrand(engBase, hebBase)
+	sp.frames = append(sp.frames, spFrame{cur: root})
+	return sp
+}
+
+func (sp *SP) newStrand(e, h *om.Node) Strand {
+	s := Strand(len(sp.engN))
+	sp.engN = append(sp.engN, e)
+	sp.hebN = append(sp.hebN, h)
+	return s
+}
+
+func (sp *SP) top() *spFrame {
+	if len(sp.frames) == 0 {
+		panic("sporder: no active frame (event before FrameStart?)")
+	}
+	return &sp.frames[len(sp.frames)-1]
+}
+
+// FrameStart records entering a spawned child. The parent's strand splits:
+// a child strand and a continuation strand are created, ordered
+// [parent, child, continuation] in English and [parent, continuation,
+// child] in Hebrew, all to the left of the sync region's join strand.
+func (sp *SP) FrameStart() {
+	parent := sp.top()
+	pe, ph := sp.engN[parent.cur], sp.hebN[parent.cur]
+	if parent.joinE == nil {
+		// First spawn of this sync region: materialize the join strand at
+		// the region's right end in both orders. Later insertions all go
+		// immediately after nodes left of it, so it stays rightmost.
+		parent.joinE = sp.eng.InsertAfter(pe)
+		parent.joinH = sp.heb.InsertAfter(ph)
+		parent.join = sp.newStrand(parent.joinE, parent.joinH)
+	}
+	childE := sp.eng.InsertAfter(pe)
+	contE := sp.eng.InsertAfter(childE)
+	contH := sp.heb.InsertAfter(ph)
+	childH := sp.heb.InsertAfter(contH)
+	child := sp.newStrand(childE, childH)
+	cont := sp.newStrand(contE, contH)
+	parent.cur = cont
+	sp.frames = append(sp.frames, spFrame{cur: child})
+}
+
+// FrameEnd records a spawned child returning; the parent resumes in the
+// continuation strand created at the spawn.
+func (sp *SP) FrameEnd() {
+	sp.popFrame()
+}
+
+// CallStart records entering a called (not spawned) function: it executes
+// within the caller's strand but opens a fresh sync scope.
+func (sp *SP) CallStart() {
+	cur := sp.top().cur
+	sp.frames = append(sp.frames, spFrame{cur: cur})
+}
+
+// CallEnd records a called function returning; the caller's strand
+// continues from wherever the called frame's strand ended up.
+func (sp *SP) CallEnd() {
+	end := sp.popFrame()
+	sp.top().cur = end
+}
+
+// popFrame removes the top frame and returns its final strand.
+func (sp *SP) popFrame() Strand {
+	f := sp.top()
+	if f.joinE != nil {
+		// An implicit sync must have fired before return; tolerate a
+		// missing one by applying it, matching the runtime's guarantee.
+		sp.syncFrame(f)
+	}
+	cur := f.cur
+	sp.frames = sp.frames[:len(sp.frames)-1]
+	return cur
+}
+
+// Sync records a sync in the current frame: execution continues in the
+// region's join strand, which both orders place after every strand the
+// region spawned.
+func (sp *SP) Sync() {
+	sp.syncFrame(sp.top())
+}
+
+func (sp *SP) syncFrame(f *spFrame) {
+	if f.joinE == nil {
+		return // no spawns since the last sync: nothing to join
+	}
+	f.cur = f.join
+	f.joinE, f.joinH = nil, nil
+}
+
+// Current returns the handle of the strand executing right now.
+func (sp *SP) Current() int32 { return int32(sp.top().cur) }
+
+// InSeries reports whether the recorded strand x's work is in series with
+// the current instruction: either x is the current strand itself (a
+// strand's earlier instructions trivially precede its later ones) or x
+// precedes the current strand in the dag.
+func (sp *SP) InSeries(x int32) bool {
+	cur := sp.Current()
+	return x == cur || sp.Precedes(Strand(x), Strand(cur))
+}
+
+// Precedes reports x ≺ y for any two recorded strands: true iff x comes
+// before y in both the English and the Hebrew order (the SP-order theorem).
+// Unlike SP-bags, neither strand needs to be the one currently executing.
+func (sp *SP) Precedes(x, y Strand) bool {
+	if x == y {
+		return false
+	}
+	return sp.eng.Before(sp.engN[x], sp.engN[y]) &&
+		sp.heb.Before(sp.hebN[x], sp.hebN[y])
+}
+
+// Parallel reports x ‖ y: neither strand precedes the other.
+func (sp *SP) Parallel(x, y Strand) bool {
+	return x != y && !sp.Precedes(x, y) && !sp.Precedes(y, x)
+}
+
+// Strands reports the number of strands created so far.
+func (sp *SP) Strands() int { return len(sp.engN) }

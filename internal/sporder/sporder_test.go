@@ -1,0 +1,238 @@
+package sporder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cilkgo/internal/dag"
+	"cilkgo/internal/spbags"
+)
+
+func TestSpawnParallelUntilSync(t *testing.T) {
+	sp := New()
+	root := Strand(sp.Current())
+	sp.FrameStart() // spawn child
+	child := Strand(sp.Current())
+	sp.Sync() // child's implicit sync (no spawns): no-op
+	sp.FrameEnd()
+	cont := Strand(sp.Current())
+	if !sp.Precedes(root, child) || !sp.Precedes(root, cont) {
+		t.Fatal("root strand precedes both child and continuation")
+	}
+	if !sp.Parallel(child, cont) {
+		t.Fatal("completed child runs logically in parallel with the continuation")
+	}
+	sp.Sync()
+	after := Strand(sp.Current())
+	if !sp.Precedes(child, after) || !sp.Precedes(cont, after) {
+		t.Fatal("after the sync, both child and continuation precede the join strand")
+	}
+}
+
+func TestSiblingsParallel(t *testing.T) {
+	sp := New()
+	sp.FrameStart()
+	c1 := Strand(sp.Current())
+	sp.Sync()
+	sp.FrameEnd()
+	sp.FrameStart()
+	c2 := Strand(sp.Current())
+	sp.Sync()
+	sp.FrameEnd()
+	if !sp.Parallel(c1, c2) {
+		t.Fatal("sibling spawned strands must be parallel")
+	}
+	if sp.InSeries(int32(c1)) {
+		t.Fatal("first sibling parallel with current continuation strand")
+	}
+	sp.Sync()
+	if !sp.InSeries(int32(c1)) || !sp.InSeries(int32(c2)) {
+		t.Fatal("after sync, both siblings are in series with the join strand")
+	}
+}
+
+func TestCallSharesStrandButScopesSync(t *testing.T) {
+	sp := New()
+	before := Strand(sp.Current())
+	sp.CallStart()
+	if Strand(sp.Current()) != before {
+		t.Fatal("a called frame continues the caller's strand")
+	}
+	sp.FrameStart() // spawn inside the call
+	inner := Strand(sp.Current())
+	sp.Sync()
+	sp.FrameEnd()
+	sp.Sync() // the call's sync
+	sp.CallEnd()
+	after := Strand(sp.Current())
+	if !sp.Precedes(inner, after) {
+		t.Fatal("the call's sync serializes its child before the caller's continuation")
+	}
+	if !sp.Precedes(before, after) {
+		t.Fatal("caller strand precedes its own continuation")
+	}
+}
+
+// exec drives SP-order, SP-bags and the dag builder through one random
+// serial execution, recording (strand, proc, node) at every instruction.
+type exec struct {
+	sp   *SP
+	bags *spbags.Bags
+	pstk []spbags.Proc
+	bld  *dag.Builder
+	rng  *rand.Rand
+
+	strands []Strand
+	procs   []spbags.Proc
+	nodes   []dag.Node
+}
+
+func (e *exec) step() {
+	node := e.bld.Step(1)
+	e.strands = append(e.strands, Strand(e.sp.Current()))
+	e.procs = append(e.procs, e.pstk[len(e.pstk)-1])
+	e.nodes = append(e.nodes, node)
+}
+
+func (e *exec) run(depth int) {
+	nOps := e.rng.Intn(6) + 1
+	for op := 0; op < nOps; op++ {
+		switch r := e.rng.Intn(5); {
+		case r == 0 && depth < 4: // spawn
+			e.bld.Spawn()
+			e.sp.FrameStart()
+			e.pstk = append(e.pstk, e.bags.NewProc())
+			e.run(depth + 1)
+			child := e.pstk[len(e.pstk)-1]
+			e.bags.Sync(child) // implicit sync
+			e.sp.Sync()
+			e.pstk = e.pstk[:len(e.pstk)-1]
+			e.bld.Return()
+			e.sp.FrameEnd()
+			e.bags.ReturnSpawned(e.pstk[len(e.pstk)-1], child)
+		case r == 1 && depth < 4: // call
+			e.bld.Call()
+			e.sp.CallStart()
+			e.pstk = append(e.pstk, e.bags.NewProc())
+			e.run(depth + 1)
+			child := e.pstk[len(e.pstk)-1]
+			e.bags.Sync(child)
+			e.sp.Sync()
+			e.pstk = e.pstk[:len(e.pstk)-1]
+			e.bld.ReturnCall()
+			e.sp.CallEnd()
+			e.bags.ReturnCalled(e.pstk[len(e.pstk)-1], child)
+		case r == 2: // sync
+			e.bld.Sync()
+			e.sp.Sync()
+			e.bags.Sync(e.pstk[len(e.pstk)-1])
+		default:
+			e.step()
+		}
+	}
+}
+
+// TestQuickAgainstDagModel: SP-order's any-pair Precedes matches dag
+// reachability for every pair of recorded instructions (same-strand pairs
+// follow serial order), and its InSeries matches SP-bags at every step.
+func TestQuickAgainstDagModel(t *testing.T) {
+	f := func(seed int64) bool {
+		e := &exec{
+			sp:   New(),
+			bags: spbags.New(),
+			bld:  dag.NewBuilder(),
+			rng:  rand.New(rand.NewSource(seed)),
+		}
+		e.pstk = append(e.pstk, e.bags.NewProc())
+		e.run(0)
+		g := e.bld.Finish()
+		for i := 0; i < len(e.nodes); i++ {
+			for j := i + 1; j < len(e.nodes); j++ {
+				wantIJ := g.Precedes(e.nodes[i], e.nodes[j])
+				wantJI := g.Precedes(e.nodes[j], e.nodes[i])
+				si, sj := e.strands[i], e.strands[j]
+				if si == sj {
+					// Same strand: serial order i before j.
+					if !wantIJ || wantJI {
+						return false
+					}
+					continue
+				}
+				if e.sp.Precedes(si, sj) != wantIJ || e.sp.Precedes(sj, si) != wantJI {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatchesSPBags: the two algorithms agree on the "past work versus
+// current instruction" query at every step of random executions.
+func TestQuickMatchesSPBags(t *testing.T) {
+	f := func(seed int64) bool {
+		e := &exec{
+			sp:   New(),
+			bags: spbags.New(),
+			bld:  dag.NewBuilder(),
+			rng:  rand.New(rand.NewSource(seed ^ 0x5eed)),
+		}
+		e.pstk = append(e.pstk, e.bags.NewProc())
+		ok := true
+		// Drive a random execution with inline checks: after each step,
+		// compare every past access's classification under both algorithms.
+		var check func(depth int)
+		check = func(depth int) {
+			nOps := e.rng.Intn(6) + 1
+			for op := 0; op < nOps; op++ {
+				switch r := e.rng.Intn(5); {
+				case r == 0 && depth < 3:
+					e.bld.Spawn()
+					e.sp.FrameStart()
+					e.pstk = append(e.pstk, e.bags.NewProc())
+					check(depth + 1)
+					child := e.pstk[len(e.pstk)-1]
+					e.bags.Sync(child)
+					e.sp.Sync()
+					e.pstk = e.pstk[:len(e.pstk)-1]
+					e.bld.Return()
+					e.sp.FrameEnd()
+					e.bags.ReturnSpawned(e.pstk[len(e.pstk)-1], child)
+				case r == 2:
+					e.bld.Sync()
+					e.sp.Sync()
+					e.bags.Sync(e.pstk[len(e.pstk)-1])
+				default:
+					e.step()
+					for k := 0; k < len(e.strands)-1; k++ {
+						if e.bags.InSeries(e.procs[k]) != e.sp.InSeries(int32(e.strands[k])) &&
+							e.strands[k] != Strand(e.sp.Current()) {
+							ok = false
+						}
+					}
+				}
+			}
+		}
+		check(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSPOrderEvents(b *testing.B) {
+	sp := New()
+	for i := 0; i < b.N; i++ {
+		sp.FrameStart()
+		sp.Sync()
+		sp.FrameEnd()
+		if i%8 == 0 {
+			sp.Sync()
+		}
+	}
+}

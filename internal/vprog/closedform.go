@@ -1,0 +1,80 @@
+package vprog
+
+// Closed-form metric computation for self-similar programs. Analyze walks
+// every frame, which for matmul(1024) means ~10⁷ frames; but all
+// subproblems of equal size have identical metrics, so the recursion
+// memoizes to O(lg² n) work. These functions reproduce Analyze's results
+// exactly (cross-validated by tests) and let the experiment harness
+// evaluate paper-scale inputs (§2.3's 1000×1000 matrices and beyond)
+// instantly.
+
+// pforMetricsMemo mirrors pforFrame: leaf Exec(n·body) below the grain,
+// otherwise Exec(1), spawn left half, call right half, sync.
+func pforMetricsMemo(n, body, grain int64, memo map[int64]Metrics) Metrics {
+	if m, ok := memo[n]; ok {
+		return m
+	}
+	var m Metrics
+	if n <= grain {
+		m = Metrics{Work: n * body, Span: n * body, Frames: 1, MaxDepth: 1}
+	} else {
+		half := n / 2
+		l := pforMetricsMemo(half, body, grain, memo)
+		r := pforMetricsMemo(n-half, body, grain, memo)
+		m = Metrics{
+			Work:     1 + l.Work + r.Work,
+			Span:     1 + maxI64(l.Span, r.Span),
+			Frames:   1 + l.Frames + r.Frames,
+			Spawns:   1 + l.Spawns + r.Spawns,
+			MaxDepth: 1 + maxI64(l.MaxDepth, r.MaxDepth),
+		}
+	}
+	memo[n] = m
+	return m
+}
+
+// MatMulMetrics returns Analyze(MatMul(n, grain)) without materializing the
+// frame tree: every size-h subproblem has the same metrics, so the
+// recursion runs in O(lg² n).
+func MatMulMetrics(n, grain int64) Metrics {
+	if grain < 1 {
+		grain = 1
+	}
+	pforMemo := make(map[int64]Metrics)
+	memo := make(map[int64]Metrics)
+	var rec func(n int64) Metrics
+	rec = func(n int64) Metrics {
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		var m Metrics
+		if n <= grain {
+			m = Metrics{Work: n * n * n, Span: n * n * n, Frames: 1, MaxDepth: 1}
+		} else {
+			h := rec(n / 2)
+			add := pforMetricsMemo(n*n, 1, 64, pforMemo)
+			m = Metrics{
+				// 7 spawned + 1 called subproducts, then the parallel add.
+				Work:     8*h.Work + add.Work,
+				Span:     h.Span + add.Span,
+				Frames:   1 + 8*h.Frames + add.Frames,
+				Spawns:   7 + 8*h.Spawns + add.Spawns,
+				MaxDepth: 1 + maxI64(h.MaxDepth, add.MaxDepth),
+			}
+		}
+		memo[n] = m
+		return m
+	}
+	m := rec(n)
+	if m.Span > 0 {
+		m.Parallelism = float64(m.Work) / float64(m.Span)
+	}
+	return m
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,380 @@
+package vprog
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// splitmix64 advances the per-node deterministic RNG used by randomized
+// workload generators, so a program's shape depends only on its seed (never
+// on wall-clock or global state) and regenerating a frame tree is
+// reproducible across Analyze and simulator runs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rngAt derives the k-th variate of stream seed.
+func rngAt(seed uint64, k uint64) uint64 {
+	return splitmix64(seed ^ splitmix64(k))
+}
+
+// log2ceil returns ⌈log₂ n⌉ for n ≥ 1.
+func log2ceil(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return int64(bits.Len64(uint64(n - 1)))
+}
+
+// Fib is the canonical Cilk workload: fib(n) with both recursive calls
+// spawned, unit cost before the spawns and after the sync. Its parallelism
+// grows exponentially in n.
+func Fib(n int) Program {
+	return Program{
+		Name: fmt.Sprintf("fib(%d)", n),
+		Root: func() Frame { return fibFrame(n) },
+	}
+}
+
+func fibFrame(n int) Frame {
+	if n < 2 {
+		return Leaf(1)
+	}
+	return Seq(
+		Step{Kind: Exec, Cost: 1},
+		Step{Kind: Spawn, Child: Lazy(func() Frame { return fibFrame(n - 1) })},
+		Step{Kind: Spawn, Child: Lazy(func() Frame { return fibFrame(n - 2) })},
+		Step{Kind: Sync},
+		Step{Kind: Exec, Cost: 1},
+	)
+}
+
+// Qsort models the Fig. 1 parallel quicksort on n elements: each frame
+// partitions its range (cost = range size), spawns the left recursion,
+// calls the right recursion — exactly the structure of lines 12–13 — and
+// syncs. Pivot ranks are drawn uniformly from a deterministic per-node
+// stream, matching random input data. Ranges of at most grain elements
+// sort serially at cost k⌈lg k⌉ + k.
+//
+// The expected parallelism is Θ(lg n): the root partition alone contributes
+// Θ(n) span against Θ(n lg n) work, which is why Fig. 3's span-law ceiling
+// for 10⁸ numbers sits near 10 rather than in the thousands.
+func Qsort(n int64, seed uint64, grain int64) Program {
+	if grain < 1 {
+		grain = 1
+	}
+	return Program{
+		Name: fmt.Sprintf("qsort(n=%d,grain=%d)", n, grain),
+		Root: func() Frame { return qsortFrame(n, seed, grain) },
+	}
+}
+
+func qsortFrame(n int64, seed uint64, grain int64) Frame {
+	if n <= grain {
+		if n <= 0 {
+			return Leaf(1)
+		}
+		return Leaf(n*log2ceil(n) + n)
+	}
+	// Pivot rank uniform in [0, n): left gets k elements, right n-1-k.
+	k := int64(rngAt(seed, 1) % uint64(n))
+	leftSeed, rightSeed := splitmix64(seed^0xa5a5), splitmix64(seed^0x5a5a)
+	return Seq(
+		Step{Kind: Exec, Cost: n}, // partition walks the whole range
+		Step{Kind: Spawn, Child: Lazy(func() Frame { return qsortFrame(k, leftSeed, grain) })},
+		Step{Kind: Call, Child: Lazy(func() Frame { return qsortFrame(n-1-k, rightSeed, grain) })},
+		Step{Kind: Sync},
+	)
+}
+
+// LoopSpawn is the §3.1 example: one frame spawning n children of bodyCost
+// each, then syncing. Under a naive scheduler this materializes an n-task
+// queue; under work stealing the live-frame count stays O(P · S1), which
+// experiment E5 verifies.
+func LoopSpawn(n int64, bodyCost int64) Program {
+	return Program{
+		Name: fmt.Sprintf("loopspawn(n=%d,body=%d)", n, bodyCost),
+		Root: func() Frame { return &loopFrame{n: n, body: bodyCost} },
+	}
+}
+
+// loopFrame lazily yields one unit of loop bookkeeping and a spawn per
+// iteration, so the iteration space is never materialized. The 1-unit
+// charge per spawn makes the spawning strand itself Θ(n) long — the reason
+// the paper's cilk_for parallelizes loops by divide-and-conquer rather than
+// by a flat spawn loop.
+type loopFrame struct {
+	n, body int64
+	i       int64
+	spawned bool // Exec(1) emitted for iteration i, Spawn not yet
+	synced  bool
+}
+
+func (f *loopFrame) Next() Step {
+	if f.i < f.n {
+		if !f.spawned {
+			f.spawned = true
+			return Step{Kind: Exec, Cost: 1}
+		}
+		f.spawned = false
+		f.i++
+		return Step{Kind: Spawn, Child: Leaf(f.body)}
+	}
+	if !f.synced {
+		f.synced = true
+		return Step{Kind: Sync}
+	}
+	return Step{Kind: End}
+}
+
+// PFor models a cilk_for over n iterations of bodyCost each with the given
+// grain: divide-and-conquer halving, spawning the left half and calling the
+// right, with one unit of bookkeeping per split.
+func PFor(n, bodyCost, grain int64) Program {
+	if grain < 1 {
+		grain = 1
+	}
+	return Program{
+		Name: fmt.Sprintf("pfor(n=%d,body=%d,grain=%d)", n, bodyCost, grain),
+		Root: func() Frame { return pforFrame(n, bodyCost, grain) },
+	}
+}
+
+func pforFrame(n, bodyCost, grain int64) Frame {
+	if n <= grain {
+		return Leaf(n * bodyCost)
+	}
+	half := n / 2
+	return Seq(
+		Step{Kind: Exec, Cost: 1},
+		Step{Kind: Spawn, Child: Lazy(func() Frame { return pforFrame(half, bodyCost, grain) })},
+		Step{Kind: Call, Child: Lazy(func() Frame { return pforFrame(n-half, bodyCost, grain) })},
+		Step{Kind: Sync},
+	)
+}
+
+// MatMul models divide-and-conquer dense matrix multiplication of n×n
+// matrices (n a power of two): eight (n/2)-sized subproducts — seven
+// spawned, one called — joined by a sync, followed by a parallel
+// element-wise addition of n²/4·addScale elements. Work is Θ(n³) and span
+// Θ(lg² n), which for n = 1000-scale inputs yields the "parallelism in the
+// millions" the paper cites in §2.3.
+func MatMul(n int64, grain int64) Program {
+	if grain < 1 {
+		grain = 1
+	}
+	return Program{
+		Name: fmt.Sprintf("matmul(n=%d,grain=%d)", n, grain),
+		Root: func() Frame { return matmulFrame(n, grain) },
+	}
+}
+
+func matmulFrame(n, grain int64) Frame {
+	if n <= grain {
+		return Leaf(n * n * n)
+	}
+	h := n / 2
+	steps := make([]Step, 0, 11)
+	for i := 0; i < 7; i++ {
+		steps = append(steps, Step{Kind: Spawn, Child: Lazy(func() Frame { return matmulFrame(h, grain) })})
+	}
+	steps = append(steps,
+		Step{Kind: Call, Child: Lazy(func() Frame { return matmulFrame(h, grain) })},
+		Step{Kind: Sync},
+		// Parallel addition of the n² intermediate elements.
+		Step{Kind: Call, Child: Lazy(func() Frame { return pforFrame(n*n, 1, 64) })},
+	)
+	return Seq(steps...)
+}
+
+// BFS models level-synchronous parallel breadth-first search on a random
+// graph with nVertices vertices, average degree avgDeg, and the given
+// number of levels. Level sizes follow a deterministic random profile
+// (geometric expansion to a bulge, then contraction); each level is a
+// cilk_for over its frontier with per-vertex cost 1 + degree, and levels
+// are serially dependent. This matches §2.3's "problems on large irregular
+// graphs, such as breadth-first search, generally exhibit parallelism on
+// the order of thousands".
+func BFS(nVertices int64, avgDeg int64, levels int, seed uint64) Program {
+	if levels < 1 {
+		levels = 1
+	}
+	sizes := bfsLevelSizes(nVertices, levels, seed)
+	return Program{
+		Name: fmt.Sprintf("bfs(V=%d,deg=%d,levels=%d)", nVertices, avgDeg, levels),
+		Root: func() Frame {
+			steps := make([]Step, 0, len(sizes))
+			for _, sz := range sizes {
+				// Process one frontier: parallel loop, per-vertex cost
+				// 1+avgDeg; the next level depends on this one (Call).
+				sz := sz
+				steps = append(steps, Step{Kind: Call, Child: Lazy(func() Frame { return pforFrame(sz, 1+avgDeg, 16) })})
+			}
+			return Seq(steps...)
+		},
+	}
+}
+
+// bfsLevelSizes produces a deterministic frontier-size profile summing to
+// nVertices: exponential growth to a central bulge, then decay, with ±25%
+// jitter from the seed stream.
+func bfsLevelSizes(nVertices int64, levels int, seed uint64) []int64 {
+	weights := make([]float64, levels)
+	var total float64
+	mid := float64(levels-1) / 2
+	for i := range weights {
+		d := (float64(i) - mid) / (mid + 1)
+		w := 1.0 / (1.0 + 4*d*d) // bulge at the middle levels
+		jitter := 0.75 + 0.5*float64(rngAt(seed, uint64(i))%1000)/1000
+		weights[i] = w * jitter
+		total += weights[i]
+	}
+	sizes := make([]int64, levels)
+	var assigned int64
+	for i, w := range weights {
+		sizes[i] = int64(float64(nVertices) * w / total)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Put any rounding remainder in the bulge.
+	if rem := nVertices - assigned; rem > 0 {
+		sizes[levels/2] += rem
+	}
+	return sizes
+}
+
+// SpMV models an iterative sparse solver: iters serially dependent sparse
+// matrix–vector products over rows rows with nnzPerRow nonzeros each, each
+// product a cilk_for with the given grain. The serial iteration dependence
+// keeps the parallelism "in the hundreds" (§2.3) even though each product
+// is wide.
+func SpMV(rows, nnzPerRow int64, iters int, grain int64) Program {
+	return Program{
+		Name: fmt.Sprintf("spmv(rows=%d,nnz=%d,iters=%d)", rows, nnzPerRow, iters),
+		Root: func() Frame {
+			steps := make([]Step, 0, iters)
+			for i := 0; i < iters; i++ {
+				steps = append(steps, Step{Kind: Call, Child: Lazy(func() Frame { return pforFrame(rows, nnzPerRow, grain) })})
+			}
+			return Seq(steps...)
+		},
+	}
+}
+
+// TreeWalk models §5's collision-detection tree walk: a random binary tree
+// of the given number of nodes; visiting a node costs checkCost (the
+// property test), plus appendCost when the node "has the property"
+// (probability hitPermille/1000); children are spawned/called as in Fig. 7.
+func TreeWalk(nodes int64, seed uint64, checkCost, appendCost int64, hitPermille int) Program {
+	return Program{
+		Name: fmt.Sprintf("treewalk(nodes=%d,hit=%d‰)", nodes, hitPermille),
+		Root: func() Frame {
+			return treeWalkFrame(nodes, seed, checkCost, appendCost, hitPermille, false)
+		},
+	}
+}
+
+// TreeWalkLocked is the Fig. 6 variant of TreeWalk: the append runs inside
+// the machine's global mutex (a Critical segment), reproducing §5's
+// real-world collision-detection code whose lock contention "degraded
+// performance on 4 processors so that it was worse than running on a
+// single processor". The reducer variant is plain TreeWalk: same costs, no
+// lock.
+func TreeWalkLocked(nodes int64, seed uint64, checkCost, appendCost int64, hitPermille int) Program {
+	return Program{
+		Name: fmt.Sprintf("treewalk-mutex(nodes=%d,hit=%d‰)", nodes, hitPermille),
+		Root: func() Frame {
+			return treeWalkFrame(nodes, seed, checkCost, appendCost, hitPermille, true)
+		},
+	}
+}
+
+func treeWalkFrame(nodes int64, seed uint64, checkCost, appendCost int64, hitPermille int, locked bool) Frame {
+	hit := int(rngAt(seed, 7)%1000) < hitPermille
+	steps := make([]Step, 0, 5)
+	steps = append(steps, Step{Kind: Exec, Cost: checkCost})
+	if hit {
+		kind := Exec
+		if locked {
+			kind = Critical
+		}
+		steps = append(steps, Step{Kind: kind, Cost: appendCost})
+	}
+	if nodes > 1 {
+		// Random split of the remaining nodes between the two subtrees.
+		rest := nodes - 1
+		left := int64(rngAt(seed, 3) % uint64(rest+1))
+		right := rest - left
+		if left > 0 {
+			leftSeed := splitmix64(seed ^ 0x11)
+			steps = append(steps, Step{Kind: Spawn, Child: Lazy(func() Frame {
+				return treeWalkFrame(left, leftSeed, checkCost, appendCost, hitPermille, locked)
+			})})
+		}
+		if right > 0 {
+			rightSeed := splitmix64(seed ^ 0x22)
+			steps = append(steps, Step{Kind: Call, Child: Lazy(func() Frame {
+				return treeWalkFrame(right, rightSeed, checkCost, appendCost, hitPermille, locked)
+			})})
+		}
+		steps = append(steps, Step{Kind: Sync})
+	}
+	return Seq(steps...)
+}
+
+// SerialParallel models an Amdahl-style computation: serialWork units of
+// unavoidable serial work followed by parallelWork units divided over a
+// perfectly parallel cilk_for. The parallel fraction is
+// parallelWork/(serialWork+parallelWork), connecting the dag model to
+// Amdahl's Law for experiment E10.
+func SerialParallel(serialWork, parallelWork, grain int64) Program {
+	return Program{
+		Name: fmt.Sprintf("amdahl(serial=%d,parallel=%d)", serialWork, parallelWork),
+		Root: func() Frame {
+			return Seq(
+				Step{Kind: Exec, Cost: serialWork},
+				Step{Kind: Call, Child: Lazy(func() Frame { return pforFrame(parallelWork, 1, grain) })},
+			)
+		},
+	}
+}
+
+// RandomFJ generates a random fork-join program for property tests: frames
+// contain random Exec segments, spawns, calls and syncs, bounded by
+// maxDepth and a per-frame op budget. Its shape and costs are fully
+// determined by the seed.
+func RandomFJ(seed uint64, maxDepth int) Program {
+	return Program{
+		Name: fmt.Sprintf("randomfj(seed=%d)", seed),
+		Root: func() Frame { return randomFrame(seed, maxDepth) },
+	}
+}
+
+func randomFrame(seed uint64, depth int) Frame {
+	nOps := int(rngAt(seed, 0)%5) + 1
+	steps := make([]Step, 0, nOps)
+	for op := 0; op < nOps; op++ {
+		r := rngAt(seed, uint64(op)+10)
+		switch {
+		case r%5 == 0 && depth > 0:
+			childSeed := splitmix64(seed + uint64(op) + 1)
+			steps = append(steps, Step{Kind: Spawn,
+				Child: Lazy(func() Frame { return randomFrame(childSeed, depth-1) })})
+		case r%5 == 1 && depth > 0:
+			childSeed := splitmix64(seed ^ (uint64(op) + 77))
+			steps = append(steps, Step{Kind: Call,
+				Child: Lazy(func() Frame { return randomFrame(childSeed, depth-1) })})
+		case r%5 == 2:
+			steps = append(steps, Step{Kind: Sync})
+		default:
+			steps = append(steps, Step{Kind: Exec, Cost: int64(r % 17)})
+		}
+	}
+	return Seq(steps...)
+}

@@ -1,0 +1,101 @@
+// Package workloads implements the paper's example computations as real,
+// executable programs on the runtime: the Fig. 1 parallel quicksort, the
+// Fig. 4–7 tree walks (serial, racy, mutex and reducer variants), dense
+// matrix multiplication, fib, n-queens and breadth-first search. The
+// benchmark harness and the examples drive these; their tests pin each one
+// to a serial reference.
+package workloads
+
+import (
+	"math/rand"
+
+	"cilkgo/internal/pfor"
+	"cilkgo/internal/sched"
+)
+
+// Qsort sorts data with the Fig. 1 parallel quicksort: partition about the
+// first element, spawn the left recursion, recurse into the right, sync.
+// Ranges up to grain elements sort with insertion sort to bound spawn
+// overhead (Fig. 1 omits a grain; grain 1 reproduces it exactly).
+func Qsort(c *sched.Context, data []float64, grain int) {
+	if grain < 1 {
+		grain = 1
+	}
+	qsortRec(c, data, grain)
+	c.Sync()
+}
+
+func qsortRec(c *sched.Context, d []float64, grain int) {
+	for len(d) > grain {
+		mid := partition(d)
+		lo := max(1, mid)
+		left := d[:mid]
+		c.Spawn(func(c *sched.Context) {
+			qsortRec(c, left, grain)
+			c.Sync()
+		})
+		d = d[lo:]
+	}
+	insertionSort(d)
+}
+
+// partition reorders d about the pivot d[0] and returns the count of
+// elements strictly less than the pivot, mirroring Fig. 1 line 11:
+// std::partition with the predicate x < *begin.
+func partition(d []float64) int {
+	pivot := d[0]
+	mid := 0
+	for j := range d {
+		if d[j] < pivot {
+			d[j], d[mid] = d[mid], d[j]
+			mid++
+		}
+	}
+	return mid
+}
+
+func insertionSort(d []float64) {
+	for i := 1; i < len(d); i++ {
+		x := d[i]
+		j := i - 1
+		for j >= 0 && d[j] > x {
+			d[j+1] = d[j]
+			j--
+		}
+		d[j+1] = x
+	}
+}
+
+// SerialQsort is the serial elision of Qsort: the identical algorithm with
+// the spawn removed, used as the baseline for the <2% overhead experiment.
+func SerialQsort(data []float64, grain int) {
+	if grain < 1 {
+		grain = 1
+	}
+	for len(data) > grain {
+		mid := partition(data)
+		SerialQsort(data[:mid], grain)
+		data = data[max(1, mid):]
+	}
+	insertionSort(data)
+}
+
+// FillSin fills a in parallel with sin-like values via cilk_for, the
+// Fig. 1 main-routine loop. (A polynomial stands in for math.Sin to keep
+// the per-iteration cost deterministic.)
+func FillSin(c *sched.Context, a []float64) {
+	pfor.Each(c, a, func(_ *sched.Context, i int, v *float64) {
+		x := float64(i) * 1e-3
+		*v = x - x*x*x/6 + x*x*x*x*x/120
+	})
+}
+
+// RandomFloats returns n deterministic pseudo-random values.
+func RandomFloats(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"cilkgo/internal/cilklock"
+	"cilkgo/internal/hyper"
+	"cilkgo/internal/sched"
+)
+
+// TreeNode is a node of the §5 collision-detection tree walk.
+type TreeNode struct {
+	Left, Right *TreeNode
+	Value       int64
+	// Pad models the per-node payload a real collision-detection tree
+	// carries; touching it in HasProperty gives the predicate real cost.
+	Pad [8]int64
+}
+
+// BuildTree builds a random binary tree with n nodes, values 0..n-1
+// assigned in in-order so serial walk output is easy to check.
+func BuildTree(n int, seed int64) *TreeNode {
+	rng := rand.New(rand.NewSource(seed))
+	var build func(count int) *TreeNode
+	next := int64(0)
+	build = func(count int) *TreeNode {
+		if count == 0 {
+			return nil
+		}
+		leftCount := rng.Intn(count)
+		node := &TreeNode{}
+		node.Left = build(leftCount)
+		node.Value = next
+		next++
+		node.Right = build(count - 1 - leftCount)
+		return node
+	}
+	return build(n)
+}
+
+// HasProperty is the paper's has_property predicate: a node "collides" when
+// its value is divisible by modulus. workUnits of arithmetic per call model
+// the geometric test a real collision detector performs.
+func HasProperty(x *TreeNode, modulus int64, workUnits int) bool {
+	s := x.Value
+	for i := 0; i < workUnits; i++ {
+		s += x.Pad[i%len(x.Pad)] ^ (s >> 3)
+	}
+	x.Pad[0] = s ^ x.Pad[0] // keep the loop observable
+	return x.Value%modulus == 0
+}
+
+// WalkSerial is Fig. 4: the serial tree walk appending matching nodes to
+// the output list, then visiting the left and right children — the paper's
+// pre-order.
+func WalkSerial(x *TreeNode, modulus int64, workUnits int, out *[]*TreeNode) {
+	if x == nil {
+		return
+	}
+	if HasProperty(x, modulus, workUnits) {
+		*out = append(*out, x)
+	}
+	WalkSerial(x.Left, modulus, workUnits, out)
+	WalkSerial(x.Right, modulus, workUnits, out)
+}
+
+// WalkMutex is Fig. 6: the parallel walk protecting the shared output list
+// with a mutex. Correct, but contended — §5 reports a real-world case where
+// this was slower on 4 processors than on one. Note the output order is
+// scrambled relative to the serial walk, another defect §5 calls out.
+func WalkMutex(c *sched.Context, x *TreeNode, modulus int64, workUnits int,
+	mu *cilklock.Mutex, out *[]*TreeNode) {
+	if x == nil {
+		return
+	}
+	if HasProperty(x, modulus, workUnits) {
+		mu.Lock()
+		*out = append(*out, x)
+		mu.Unlock()
+	}
+	left := x.Left
+	c.Spawn(func(c *sched.Context) {
+		WalkMutex(c, left, modulus, workUnits, mu, out)
+		c.Sync()
+	})
+	WalkMutex(c, x.Right, modulus, workUnits, mu, out)
+	c.Sync()
+}
+
+// WalkReducer is Fig. 7: the parallel walk with a reducer_list_append
+// hyperobject. No locks, no restructuring, and the output order equals the
+// serial walk's exactly.
+func WalkReducer(c *sched.Context, x *TreeNode, modulus int64, workUnits int,
+	out hyper.ListAppend[*TreeNode]) {
+	if x == nil {
+		return
+	}
+	if HasProperty(x, modulus, workUnits) {
+		out.PushBack(c, x)
+	}
+	left := x.Left
+	c.Spawn(func(c *sched.Context) {
+		WalkReducer(c, left, modulus, workUnits, out)
+		c.Sync()
+	})
+	WalkReducer(c, x.Right, modulus, workUnits, out)
+	c.Sync()
+}
