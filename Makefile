@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite, plus the scheduler and trace packages under the race detector
+# (the tracer's lock-free drain and the per-run counters are the parts most
+# worth hammering with -race).
+test: vet
+	$(GO) test ./...
+	$(GO) test -race -count=1 ./internal/sched/... ./internal/trace/... ./internal/pfor/...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Run the benchmark harness and record it as JSON for cross-commit diffing.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_trace.json
+
+clean:
+	rm -f BENCH_trace.json trace.json

@@ -31,11 +31,16 @@
 //	internal/cilklock the mutex library (§1)
 //	internal/sim      a deterministic simulator of the Cilk scheduler
 //	internal/dag      the dag model of multithreading (§2)
+//	internal/trace    per-worker event tracing of the parallel schedule
 package cilkgo
 
 import (
+	"expvar"
+	"io"
+
 	"cilkgo/internal/pfor"
 	"cilkgo/internal/sched"
+	"cilkgo/internal/trace"
 )
 
 // Core runtime types, re-exported from internal/sched.
@@ -51,6 +56,16 @@ type (
 	Stats = sched.Stats
 	// PanicError wraps a panic captured inside a computation.
 	PanicError = sched.PanicError
+	// Tracer is the per-worker event tracer installed by the Tracing
+	// option; retrieve it with Runtime.Tracer, bracket a recording window
+	// with Start/Stop, and feed the resulting Trace to WriteChromeTrace or
+	// Summarize.
+	Tracer = trace.Tracer
+	// Trace is a drained recording window: per-worker event timelines.
+	Trace = trace.Trace
+	// TraceProfile is the derived view of a Trace — worker utilization,
+	// steal latencies, and the live-frames high-water series.
+	TraceProfile = trace.Profile
 )
 
 // New creates a runtime with one worker per processor (override with
@@ -66,6 +81,38 @@ func SerialElision() Option { return sched.SerialElision() }
 
 // StealSeed makes the schedule's random victim selection reproducible.
 func StealSeed(seed int64) Option { return sched.StealSeed(seed) }
+
+// Tracing equips the runtime with low-overhead per-worker event tracing of
+// the parallel schedule: task start/end, spawns, steal attempts and
+// successes (with victim ids), idle hunting, and parking. The tracer starts
+// disabled — until Runtime.Tracer().Start() is called every
+// instrumentation site costs a single atomic load and branch.
+//
+//	rt := cilkgo.New(cilkgo.Tracing())
+//	rt.Tracer().Start()
+//	rt.Run(...)
+//	t := rt.Tracer().Stop()
+//	cilkgo.WriteChromeTrace(f, t)      // view in Perfetto / chrome://tracing
+//	fmt.Print(cilkgo.Summarize(t).Render())
+func Tracing(opts ...sched.TraceOption) Option { return sched.Tracing(opts...) }
+
+// TraceCapacity sets the per-worker trace ring-buffer capacity in events
+// (default 65536; oldest events are overwritten on overflow).
+func TraceCapacity(events int) sched.TraceOption { return trace.Capacity(events) }
+
+// WriteChromeTrace writes a drained trace as Chrome trace-event JSON, one
+// track per worker, viewable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Trace) error { return trace.WriteChrome(w, t) }
+
+// Summarize derives the utilization / steal-latency / live-frames profile
+// of a drained trace; its Render method formats an ASCII report.
+func Summarize(t *Trace) *TraceProfile { return trace.BuildProfile(t, 60) }
+
+// PublishExpvar publishes rt.Metrics() as the expvar variable name, so a
+// long-running server exposes scheduler counters on /debug/vars.
+func PublishExpvar(name string, rt *Runtime) {
+	expvar.Publish(name, expvar.Func(func() any { return rt.Metrics() }))
+}
 
 // For executes body(ctx, i) for every i in [lo, hi) as a cilk_for loop:
 // divide-and-conquer parallel recursion over the iteration space with an

@@ -1,0 +1,73 @@
+// Benchjson converts `go test -bench` output on stdin into a JSON array on
+// stdout, one object per benchmark result, so benchmark runs can be
+// recorded and diffed across commits (the Makefile's `bench` target pipes
+// into it to produce BENCH_trace.json).
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line, e.g.
+//
+//	BenchmarkFib25-8   100  11849193 ns/op  2400 B/op  75 allocs/op
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := result{Name: fields[0], Procs: 1}
+		if i := strings.LastIndex(fields[0], "-"); i > 0 {
+			if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+				r.Name, r.Procs = fields[0][:i], p
+			}
+		}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Cilktrace runs a workload on the parallel work-stealing runtime with
+// per-worker event tracing enabled, writes a Chrome trace-event JSON file
+// (one track per worker; open in Perfetto or chrome://tracing), and prints
+// an ASCII report: per-worker utilization, steal-latency histogram, the
+// live-frames high-water series, and — where an analytic dag model exists —
+// Cilkview's *predicted* parallelism next to the *observed* one, so the
+// paper's §5 burden analysis can finally be compared against a real
+// schedule.
+//
+// The acceptance smoke test from the issue:
+//
+//	cilktrace -workload fib -n 30 -workers 4 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"cilkgo"
+	"cilkgo/internal/cilkview"
+	"cilkgo/internal/sched"
+	"cilkgo/internal/trace"
+	"cilkgo/internal/vprog"
+	"cilkgo/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "fib", "fib | qsort | matmul | nqueens | pfor")
+		n        = flag.Int("n", 30, "problem size (fib n, qsort/pfor length, matmul dimension, nqueens board)")
+		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		grain    = flag.Int("grain", 2048, "serial grain size (qsort)")
+		seed     = flag.Int64("seed", 1, "workload and steal seed")
+		out      = flag.String("o", "trace.json", "Chrome trace-event JSON output path (empty = skip)")
+		capacity = flag.Int("capacity", 1<<16, "per-worker trace ring capacity in events")
+		buckets  = flag.Int("buckets", 60, "utilization timeline buckets")
+		burden   = flag.Int64("burden", 1000, "per-spawn burden for the predicted (Cilkview) profile")
+	)
+	flag.Parse()
+
+	p := *workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+
+	run, prog, err := pickWorkload(*workload, *n, *grain, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rt := cilkgo.New(
+		cilkgo.Workers(p),
+		cilkgo.StealSeed(*seed),
+		cilkgo.Tracing(cilkgo.TraceCapacity(*capacity)),
+	)
+	defer rt.Shutdown()
+
+	tr := rt.Tracer()
+	tr.Start()
+	stats, runErr := rt.RunWithStats(run)
+	snap := tr.Stop()
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "cilktrace: workload failed: %v\n", runErr)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cilkgo.WriteChromeTrace(f, snap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events; open in Perfetto or chrome://tracing)\n\n", *out, snap.Events())
+	}
+
+	profile := trace.BuildProfile(snap, *buckets)
+	fmt.Print(profile.Render())
+
+	fmt.Printf("\nper-run stats: %d spawns, %d tasks, %d steals of this run's tasks, "+
+		"max depth %d, live-frame high-water %d\n",
+		stats.Spawns, stats.TasksRun, stats.Steals, stats.MaxDepth, stats.MaxLiveFrames)
+
+	// Predicted vs observed: Cilkview's dag-model parallelism against the
+	// busy-time parallelism of the schedule that actually ran.
+	if prog != nil {
+		pv := cilkview.FromProgram(*prog, *burden)
+		fmt.Printf("\npredicted vs observed (P = %d workers):\n", p)
+		fmt.Printf("  cilkview predicted parallelism          %12.2f\n", pv.Parallelism())
+		fmt.Printf("  cilkview burdened parallelism           %12.2f  (burden %d)\n",
+			pv.BurdenedParallelism(), *burden)
+		fmt.Printf("  observed parallelism (busy time / wall) %12.2f\n", profile.ObservedParallelism())
+		fmt.Printf("  speedup upper bound at P (Work/Span laws) %10.2f\n", pv.SpeedupUpper(p))
+	} else {
+		fmt.Printf("\n(no analytic dag model for %q; predicted-parallelism comparison skipped)\n", *workload)
+	}
+}
+
+// pickWorkload returns the parallel workload body and, when one exists, the
+// matching analytic dag program for the predicted-parallelism comparison.
+func pickWorkload(name string, n, grain int, seed int64) (func(*sched.Context), *vprog.Program, error) {
+	switch name {
+	case "fib":
+		prog := vprog.Fib(n)
+		return func(c *sched.Context) { workloads.Fib(c, n) }, &prog, nil
+	case "qsort":
+		data := workloads.RandomFloats(n, seed)
+		prog := vprog.Qsort(int64(n), uint64(seed), int64(grain))
+		return func(c *sched.Context) { workloads.Qsort(c, data, grain) }, &prog, nil
+	case "matmul":
+		a, b, out := workloads.NewMatrix(n), workloads.NewMatrix(n), workloads.NewMatrix(n)
+		for i := range a.Elts {
+			a.Elts[i] = float64(i%7) * 0.25
+			b.Elts[i] = float64(i%5) * 0.5
+		}
+		prog := vprog.MatMul(int64(n), 8)
+		return func(c *sched.Context) { workloads.MatMul(c, a, b, out) }, &prog, nil
+	case "nqueens":
+		return func(c *sched.Context) { workloads.NQueens(c, n) }, nil, nil
+	case "pfor":
+		a := make([]float64, n)
+		prog := vprog.PFor(int64(n), 10, int64(grain))
+		return func(c *sched.Context) { workloads.FillSin(c, a) }, &prog, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q (want fib | qsort | matmul | nqueens | pfor)", name)
+	}
+}

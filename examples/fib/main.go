@@ -5,7 +5,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -18,6 +20,8 @@ import (
 const n = 30
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the widest parallel run to this file")
+	flag.Parse()
 	// Measured Cilkview profile of fib(20) (instrumented serial run).
 	profile, err := cilkview.Measure("fib(20)", func(c *sched.Context) {
 		workloads.Fib(c, 20)
@@ -37,13 +41,24 @@ func main() {
 		"workers", "time", "speedup", "spawns", "steals", "max-depth")
 	maxP := runtime.GOMAXPROCS(0)
 	for p := 1; p <= maxP; p *= 2 {
-		rt := cilkgo.New(cilkgo.Workers(p))
+		opts := []cilkgo.Option{cilkgo.Workers(p)}
+		traced := *traceOut != "" && p*2 > maxP // trace the widest run
+		if traced {
+			opts = append(opts, cilkgo.Tracing())
+		}
+		rt := cilkgo.New(opts...)
+		if traced {
+			rt.Tracer().Start()
+		}
 		var got int64
 		start := time.Now()
 		if err := rt.Run(func(c *cilkgo.Context) { got = workloads.Fib(c, n) }); err != nil {
 			panic(err)
 		}
 		elapsed := time.Since(start)
+		if traced {
+			writeTrace(*traceOut, rt.Tracer().Stop())
+		}
 		rt.Shutdown()
 		if got != want {
 			panic("wrong fib result")
@@ -54,4 +69,18 @@ func main() {
 	}
 	fmt.Println("\nSteals stay a tiny fraction of spawns: communication is incurred")
 	fmt.Println("only when a worker runs out of work (§3.2).")
+}
+
+// writeTrace saves the drained trace as Chrome trace-event JSON and prints
+// its utilization summary.
+func writeTrace(path string, t *cilkgo.Trace) {
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := cilkgo.WriteChromeTrace(f, t); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwrote %s (%d events)\n%s", path, t.Events(), cilkgo.Summarize(t).Render())
 }

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
@@ -16,6 +18,8 @@ import (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the widest parallel run to this file")
+	flag.Parse()
 	// Analytic side: the paper's 1000×1000 claim, on the exact dag.
 	m := vprog.Analyze(vprog.MatMul(1024, 8))
 	fmt.Printf("divide-and-conquer matmul(1024) dag:\n")
@@ -40,13 +44,25 @@ func main() {
 	maxP := runtime.GOMAXPROCS(0)
 	fmt.Printf("%8s  %12s  %8s\n", "workers", "time", "speedup")
 	for p := 1; p <= maxP; p *= 2 {
-		rt := cilkgo.New(cilkgo.Workers(p))
+		opts := []cilkgo.Option{cilkgo.Workers(p)}
+		traced := *traceOut != "" && p*2 > maxP // trace the widest run
+		if traced {
+			opts = append(opts, cilkgo.Tracing())
+		}
+		rt := cilkgo.New(opts...)
+		if traced {
+			rt.Tracer().Start()
+		}
 		out := workloads.NewMatrix(n)
 		start := time.Now()
 		if err := rt.Run(func(c *cilkgo.Context) { workloads.MatMul(c, a, b, out) }); err != nil {
 			panic(err)
 		}
 		elapsed := time.Since(start)
+		var snap *cilkgo.Trace
+		if traced {
+			snap = rt.Tracer().Stop()
+		}
 		rt.Shutdown()
 		for i := range out.Elts {
 			if out.Elts[i] != ref.Elts[i] {
@@ -54,5 +70,16 @@ func main() {
 			}
 		}
 		fmt.Printf("%8d  %12v  %8.2f\n", p, elapsed, float64(serial)/float64(elapsed))
+		if snap != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				panic(err)
+			}
+			if err := cilkgo.WriteChromeTrace(f, snap); err != nil {
+				panic(err)
+			}
+			f.Close()
+			fmt.Printf("\nwrote %s (%d events)\n%s", *traceOut, snap.Events(), cilkgo.Summarize(snap).Render())
+		}
 	}
 }

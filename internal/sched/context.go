@@ -55,6 +55,10 @@ func (c *Context) Spawn(fn func(*Context)) {
 	f.pending.Add(1)
 	child := &frame{parent: f, run: f.run, ordinal: ord, depth: f.depth + 1}
 	c.w.ws.spawns.Add(1)
+	if s := f.run.stats; s != nil {
+		s.spawns.Add(1)
+	}
+	c.w.rec.Spawn()
 	c.w.deque.PushBottom(&task{fn: fn, frame: child})
 }
 
@@ -67,6 +71,13 @@ func (c *Context) spawnSerial(fn func(*Context)) {
 		h.Spawn()
 	}
 	child := &frame{parent: c.frame, run: c.frame.run, depth: c.frame.depth + 1}
+	if s := c.frame.run.stats; s != nil {
+		// The serial elision's live frames are its call depth.
+		s.spawns.Add(1)
+		s.tasksRun.Add(1)
+		maxStore(&s.maxDepth, int64(child.depth))
+		maxStore(&s.maxLiveFrames, int64(child.depth)+1)
+	}
 	cc := &Context{rt: c.rt, frame: child, views: c.views}
 	if h != nil {
 		h.FrameStart()

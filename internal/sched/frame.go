@@ -153,13 +153,45 @@ type Finalizer interface {
 	Finalize(v View)
 }
 
-// runState tracks one Run invocation: completion signaling and the first
-// captured panic.
+// runState tracks one Run invocation: completion signaling, the first
+// captured panic, and (for RunWithStats) per-computation counters.
 type runState struct {
+	// id identifies the Run invocation, so trace events of concurrent
+	// computations sharing the workers can be told apart.
+	id         int64
+	stats      *runCounters // nil unless submitted via RunWithStats
 	done       chan struct{}
 	panicOnce  sync.Once
 	panicVal   any
 	panicStack []byte
+}
+
+// runCounters are the per-computation analogue of workerStats: updated by
+// whichever workers execute the computation's tasks, so every field is
+// atomic (and the max gauges use maxStore's CAS loop).
+type runCounters struct {
+	spawns        atomic.Int64
+	steals        atomic.Int64
+	tasksRun      atomic.Int64
+	liveFrames    atomic.Int64
+	maxLiveFrames atomic.Int64
+	maxDepth      atomic.Int64
+}
+
+// snapshot folds the per-run counters into a Stats. StealAttempts is zero:
+// failed probes are not attributable to one computation.
+func (rs *runState) snapshot() Stats {
+	s := rs.stats
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Spawns:        s.spawns.Load(),
+		Steals:        s.steals.Load(),
+		TasksRun:      s.tasksRun.Load(),
+		MaxLiveFrames: s.maxLiveFrames.Load(),
+		MaxDepth:      s.maxDepth.Load(),
+	}
 }
 
 // poison records the first panic of the computation.

@@ -29,9 +29,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cilkgo/internal/deque"
+	"cilkgo/internal/trace"
 )
 
 // config collects the options for a Runtime.
@@ -41,6 +43,8 @@ type config struct {
 	hooks       Hooks
 	stealSeed   int64
 	lockThreads bool
+	trace       bool
+	traceOpts   []TraceOption
 }
 
 // Option configures a Runtime.
@@ -78,11 +82,29 @@ func NoThreadLocking() Option {
 	return func(c *config) { c.lockThreads = false }
 }
 
+// TraceOption configures the tracer installed by Tracing (see
+// internal/trace, e.g. trace.Capacity).
+type TraceOption = trace.Option
+
+// Tracing equips the runtime with a per-worker event tracer (see
+// internal/trace). The tracer starts disabled: until Tracer().Start() is
+// called, every instrumentation site costs one atomic load and a branch.
+// Tracing observes the parallel schedule and therefore requires a parallel
+// runtime; New panics if combined with SerialElision (use Hooks there).
+func Tracing(opts ...TraceOption) Option {
+	return func(c *config) {
+		c.trace = true
+		c.traceOpts = opts
+	}
+}
+
 // Runtime is a Cilk work-stealing scheduler instance. Construct with New,
 // submit computations with Run, and release the workers with Shutdown.
 type Runtime struct {
 	cfg     config
 	workers []*worker
+	tracer  *trace.Tracer // nil unless the Tracing option was given
+	runIDs  atomic.Int64  // Run invocation ids, for trace attribution
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -109,6 +131,9 @@ func New(opts ...Option) *Runtime {
 	if cfg.hooks != nil && !cfg.serial {
 		panic("sched: WithHooks requires SerialElision")
 	}
+	if cfg.trace && cfg.serial {
+		panic("sched: Tracing requires a parallel runtime (hooks cover the serial elision)")
+	}
 	if cfg.serial {
 		cfg.workers = 1
 	}
@@ -117,6 +142,9 @@ func New(opts ...Option) *Runtime {
 	if cfg.serial {
 		return rt
 	}
+	if cfg.trace {
+		rt.tracer = trace.New(cfg.workers, cfg.traceOpts...)
+	}
 	rt.workers = make([]*worker, cfg.workers)
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
@@ -124,6 +152,9 @@ func New(opts ...Option) *Runtime {
 			id:    i,
 			deque: deque.New[task](),
 			rng:   rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
+		}
+		if rt.tracer != nil {
+			rt.workers[i].rec = rt.tracer.Recorder(i)
 		}
 	}
 	rt.wg.Add(len(rt.workers))
@@ -139,6 +170,11 @@ func (rt *Runtime) Workers() int { return rt.cfg.workers }
 // Serial reports whether the runtime runs serial elisions.
 func (rt *Runtime) Serial() bool { return rt.cfg.serial }
 
+// Tracer returns the event tracer installed by the Tracing option, or nil.
+// Typical use: rt.Tracer().Start(), run computations, then
+// rt.Tracer().Stop() for the drained timelines.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
+
 // Run executes fn as the root of a fork-join computation and blocks until
 // the computation — including everything it spawned — completes. A panic
 // anywhere in the computation is captured and returned as a *PanicError
@@ -146,17 +182,38 @@ func (rt *Runtime) Serial() bool { return rt.cfg.serial }
 // from several goroutines; the computations share the workers (§3.2's
 // performance composability).
 func (rt *Runtime) Run(fn func(*Context)) error {
-	if rt.cfg.serial {
-		return rt.runSerial(fn)
+	_, err := rt.run(fn, false)
+	return err
+}
+
+// RunWithStats is Run with per-computation accounting: the returned Stats
+// covers exactly this computation — its spawns, tasks, steals of its tasks,
+// its live-frame high-water mark and deepest spawn — so concurrent Run
+// calls sharing the workers can be told apart (§3.2's performance
+// composability, now observable). StealAttempts is zero in the result:
+// failed probes cannot be attributed to any one computation. The extra
+// accounting costs a few per-run atomic increments; plain Run pays only a
+// nil check per site.
+func (rt *Runtime) RunWithStats(fn func(*Context)) (Stats, error) {
+	return rt.run(fn, true)
+}
+
+func (rt *Runtime) run(fn func(*Context), track bool) (Stats, error) {
+	rs := &runState{id: rt.runIDs.Add(1), done: make(chan struct{})}
+	if track {
+		rs.stats = &runCounters{}
 	}
-	rs := &runState{done: make(chan struct{})}
+	if rt.cfg.serial {
+		err := rt.runSerial(fn, rs)
+		return rs.snapshot(), err
+	}
 	root := &frame{run: rs}
 	t := &task{fn: fn, frame: root}
 
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
-		return ErrShutdown
+		return Stats{}, ErrShutdown
 	}
 	rt.activeRoots++
 	rt.inject = append(rt.inject, t)
@@ -165,14 +222,13 @@ func (rt *Runtime) Run(fn func(*Context)) error {
 
 	<-rs.done
 	if rs.panicVal != nil {
-		return &PanicError{Value: rs.panicVal, Stack: rs.panicStack}
+		return rs.snapshot(), &PanicError{Value: rs.panicVal, Stack: rs.panicStack}
 	}
-	return nil
+	return rs.snapshot(), nil
 }
 
 // runSerial executes fn's serial elision on the caller's goroutine.
-func (rt *Runtime) runSerial(fn func(*Context)) (err error) {
-	rs := &runState{done: make(chan struct{})}
+func (rt *Runtime) runSerial(fn func(*Context), rs *runState) (err error) {
 	root := &frame{run: rs}
 	ctx := &Context{rt: rt, frame: root}
 	defer func() {
@@ -180,6 +236,9 @@ func (rt *Runtime) runSerial(fn func(*Context)) (err error) {
 			err = &PanicError{Value: r}
 		}
 	}()
+	if s := rs.stats; s != nil {
+		maxStore(&s.maxLiveFrames, 1) // the root frame itself
+	}
 	if h := rt.cfg.hooks; h != nil {
 		h.FrameStart()
 		defer h.FrameEnd()
@@ -235,6 +294,13 @@ type worker struct {
 	deque *deque.Deque[task]
 	rng   *rand.Rand
 	ws    workerStats
+	// rec is the worker's private event recorder; nil unless the runtime
+	// was built with Tracing (all Recorder methods are nil-safe no-ops).
+	rec *trace.Recorder
+	// hunting is true while the worker is between running out of work and
+	// finding the next task, bracketing the trace's idle slices. Only the
+	// worker's own goroutine touches it.
+	hunting bool
 }
 
 // loop is the worker's top-level scheduling loop: drain own deque, take
@@ -248,9 +314,17 @@ func (w *worker) loop() {
 	backoff := minBackoff
 	for {
 		if t := w.findTask(); t != nil {
+			if w.hunting {
+				w.hunting = false
+				w.rec.IdleExit()
+			}
 			w.runTask(t)
 			backoff = minBackoff
 			continue
+		}
+		if !w.hunting {
+			w.hunting = true
+			w.rec.IdleEnter()
 		}
 		if !w.idle(&backoff) {
 			return
@@ -273,12 +347,18 @@ func (w *worker) findTask() *task {
 func (w *worker) takeInjected() *task {
 	rt := w.rt
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if len(rt.inject) == 0 {
+		rt.mu.Unlock()
 		return nil
 	}
 	t := rt.inject[0]
+	// Nil out the popped head: the backing array survives the reslice, and
+	// without this it would retain the root task (and its whole frame tree)
+	// until the slice is reallocated.
+	rt.inject[0] = nil
 	rt.inject = rt.inject[1:]
+	rt.mu.Unlock()
+	w.rec.InjectPickup()
 	return t
 }
 
@@ -296,8 +376,13 @@ func (w *worker) stealOnce() *task {
 			continue
 		}
 		w.ws.stealAttempts.Add(1)
+		w.rec.StealAttempt(int32(victim.id))
 		if t := victim.deque.Steal(); t != nil {
 			w.ws.steals.Add(1)
+			if s := t.frame.run.stats; s != nil {
+				s.steals.Add(1)
+			}
+			w.rec.StealSuccess(int32(victim.id))
 			return t
 		}
 	}
@@ -315,8 +400,16 @@ const (
 func (w *worker) idle(backoff *time.Duration) bool {
 	rt := w.rt
 	rt.mu.Lock()
+	parked := false
 	for rt.activeRoots == 0 && len(rt.inject) == 0 && !rt.closed {
+		if !parked {
+			parked = true
+			w.rec.Park()
+		}
 		rt.cond.Wait()
+	}
+	if parked {
+		w.rec.Unpark()
 	}
 	closed := rt.closed && rt.activeRoots == 0 && len(rt.inject) == 0
 	rt.mu.Unlock()
@@ -336,11 +429,20 @@ func (w *worker) idle(backoff *time.Duration) bool {
 // the frame's outstanding children are still drained, so a failed
 // computation never leaves orphan tasks running after Run returns.
 func (w *worker) runTask(t *task) {
+	rs := t.frame.run
 	if t.frame.parent != nil {
 		w.ws.tasksRun.Add(1)
 	}
 	maxStore(&w.ws.maxLiveFrames, w.ws.liveFrames.Add(1))
 	maxStore(&w.ws.maxDepth, int64(t.frame.depth))
+	if s := rs.stats; s != nil {
+		if t.frame.parent != nil {
+			s.tasksRun.Add(1)
+		}
+		maxStore(&s.maxLiveFrames, s.liveFrames.Add(1))
+		maxStore(&s.maxDepth, int64(t.frame.depth))
+	}
+	w.rec.TaskStart(t.frame.depth, rs.id)
 
 	ctx := &Context{w: w, rt: w.rt, frame: t.frame}
 	func() {
@@ -365,4 +467,8 @@ func (w *worker) runTask(t *task) {
 		f.run.finish(w.rt)
 	}
 	w.ws.liveFrames.Add(-1)
+	if s := rs.stats; s != nil {
+		s.liveFrames.Add(-1)
+	}
+	w.rec.TaskEnd()
 }

@@ -1,6 +1,9 @@
 package sched
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // workerStats are per-worker counters. Each is written only by its owning
 // worker goroutine; atomic access lets Stats read consistent snapshots while
@@ -15,9 +18,16 @@ type workerStats struct {
 	maxDepth      atomic.Int64
 }
 
+// maxStore raises the max-gauge m to v. The CAS loop makes it correct under
+// concurrent writers: per-run counters (runCounters) are updated by every
+// worker that executes the computation's tasks, so a plain load-then-store
+// could regress the gauge when two workers race.
 func maxStore(m *atomic.Int64, v int64) {
-	if v > m.Load() {
-		m.Store(v)
+	for {
+		old := m.Load()
+		if v <= old || m.CompareAndSwap(old, v) {
+			return
+		}
 	}
 }
 
@@ -60,4 +70,50 @@ func (rt *Runtime) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// Sub returns the counter deltas s − prev, for snapshot-style accounting
+// around a region of interest (take Stats before and after, subtract). The
+// max gauges MaxLiveFrames and MaxDepth are watermarks, not counters — a
+// delta is meaningless — so Sub keeps s's values for them.
+func (s Stats) Sub(prev Stats) Stats {
+	s.Spawns -= prev.Spawns
+	s.Steals -= prev.Steals
+	s.StealAttempts -= prev.StealAttempts
+	s.TasksRun -= prev.TasksRun
+	return s
+}
+
+// Metrics returns the runtime's counters as a flat name → value map in
+// expvar style, suitable for publishing from a long-running server (see
+// cilkgo.PublishExpvar): the aggregate Stats fields in snake_case plus
+// per-worker spawn/steal/task breakdowns, worker count, and whether the
+// tracer is currently recording.
+func (rt *Runtime) Metrics() map[string]int64 {
+	s := rt.Stats()
+	m := map[string]int64{
+		"workers":         int64(rt.cfg.workers),
+		"spawns":          s.Spawns,
+		"steals":          s.Steals,
+		"steal_attempts":  s.StealAttempts,
+		"tasks_run":       s.TasksRun,
+		"max_live_frames": s.MaxLiveFrames,
+		"max_depth":       s.MaxDepth,
+		"runs_submitted":  rt.runIDs.Load(),
+	}
+	for i, w := range rt.workers {
+		p := fmt.Sprintf("worker.%d.", i)
+		m[p+"spawns"] = w.ws.spawns.Load()
+		m[p+"steals"] = w.ws.steals.Load()
+		m[p+"steal_attempts"] = w.ws.stealAttempts.Load()
+		m[p+"tasks_run"] = w.ws.tasksRun.Load()
+		m[p+"max_live_frames"] = w.ws.maxLiveFrames.Load()
+	}
+	if rt.tracer != nil {
+		m["trace_enabled"] = 0
+		if rt.tracer.Enabled() {
+			m["trace_enabled"] = 1
+		}
+	}
+	return m
 }

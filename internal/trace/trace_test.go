@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	tr := New(2, Capacity(64))
+	r := tr.Recorder(0)
+	r.Spawn()
+	r.TaskStart(0, 1)
+	snap := tr.Stop()
+	if got := snap.Events(); got != 0 {
+		t.Fatalf("disabled tracer recorded %d events, want 0", got)
+	}
+	var nilRec *Recorder
+	nilRec.Spawn() // must not panic
+	nilRec.TaskEnd()
+}
+
+func TestRecordAndDrain(t *testing.T) {
+	tr := New(1, Capacity(64))
+	tr.Start()
+	r := tr.Recorder(0)
+	r.TaskStart(3, 7)
+	r.Spawn()
+	r.StealAttempt(5)
+	r.TaskEnd()
+	snap := tr.Stop()
+	events := snap.Workers[0]
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	wantKinds := []Kind{KindTaskStart, KindSpawn, KindStealAttempt, KindTaskEnd}
+	for i, ev := range events {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, ev.Kind, wantKinds[i])
+		}
+		if i > 0 && ev.When < events[i-1].When {
+			t.Errorf("event %d timestamp regressed: %d < %d", i, ev.When, events[i-1].When)
+		}
+	}
+	if events[0].Arg != 3 || events[0].Run != 7 {
+		t.Errorf("task-start args = (%d, %d), want (3, 7)", events[0].Arg, events[0].Run)
+	}
+	if events[2].Arg != 5 {
+		t.Errorf("steal-attempt victim = %d, want 5", events[2].Arg)
+	}
+	if snap.Dropped[0] != 0 {
+		t.Errorf("dropped = %d, want 0", snap.Dropped[0])
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(1, Capacity(8))
+	tr.Start()
+	r := tr.Recorder(0)
+	for i := 0; i < 20; i++ {
+		r.StealAttempt(int32(i))
+	}
+	snap := tr.Stop()
+	events := snap.Workers[0]
+	if len(events) != 8 {
+		t.Fatalf("got %d events, want 8 (ring capacity)", len(events))
+	}
+	if snap.Dropped[0] != 12 {
+		t.Errorf("dropped = %d, want 12", snap.Dropped[0])
+	}
+	for i, ev := range events {
+		if want := int32(12 + i); ev.Arg != want {
+			t.Errorf("event %d arg = %d, want %d (oldest overwritten first)", i, ev.Arg, want)
+		}
+	}
+}
+
+func TestStartResets(t *testing.T) {
+	tr := New(1, Capacity(64))
+	tr.Start()
+	tr.Recorder(0).Spawn()
+	tr.Stop()
+	tr.Start()
+	tr.Recorder(0).TaskStart(0, 1)
+	snap := tr.Stop()
+	if len(snap.Workers[0]) != 1 || snap.Workers[0][0].Kind != KindTaskStart {
+		t.Fatalf("second window = %+v, want exactly one task-start", snap.Workers[0])
+	}
+}
+
+// TestStopQuiescesConcurrentRecorders drives recorders from goroutines
+// while Stop drains; the race detector checks the seqlock discipline.
+func TestStopQuiescesConcurrentRecorders(t *testing.T) {
+	tr := New(4, Capacity(256))
+	tr.Start()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(r *Recorder) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Spawn()
+				}
+			}
+		}(tr.Recorder(i))
+	}
+	time.Sleep(2 * time.Millisecond)
+	snap := tr.Stop()
+	close(stop)
+	wg.Wait()
+	if snap.Events() == 0 {
+		t.Error("no events drained from concurrent recorders")
+	}
+	// Recording after Stop is a no-op.
+	tr.Recorder(0).Spawn()
+	if n := tr.Recorder(0).pos.Load(); int64(len(snap.Workers[0]))+snap.Dropped[0] != n {
+		t.Errorf("events recorded after Stop: pos %d, drained %d", n, len(snap.Workers[0]))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+}
+
+// synthetic builds a hand-written two-worker trace covering 100ms:
+//
+//	worker 0: task [0,60ms] with a nested task [10,30ms], idle [60,100ms]
+//	          with park [70,90ms]
+//	worker 1: idle [0,20ms] with steal attempts at 5 and 15ms, steal
+//	          success at 15ms, then task [20,50ms]
+func synthetic() *Trace {
+	ms := func(m int64) int64 { return m * int64(time.Millisecond) }
+	return &Trace{
+		Duration: 100 * time.Millisecond,
+		Workers: [][]Event{
+			{
+				{When: ms(0), Kind: KindTaskStart, Run: 1},
+				{When: ms(5), Kind: KindSpawn},
+				{When: ms(10), Kind: KindTaskStart, Arg: 1, Run: 1},
+				{When: ms(30), Kind: KindTaskEnd},
+				{When: ms(60), Kind: KindTaskEnd},
+				{When: ms(60), Kind: KindIdleEnter},
+				{When: ms(70), Kind: KindPark},
+				{When: ms(90), Kind: KindUnpark},
+			},
+			{
+				{When: ms(0), Kind: KindIdleEnter},
+				{When: ms(5), Kind: KindStealAttempt, Arg: 0},
+				{When: ms(15), Kind: KindStealAttempt, Arg: 0},
+				{When: ms(15), Kind: KindStealSuccess, Arg: 0},
+				{When: ms(20), Kind: KindIdleExit},
+				{When: ms(20), Kind: KindTaskStart, Arg: 1, Run: 1},
+				{When: ms(50), Kind: KindTaskEnd},
+			},
+		},
+		Dropped: []int64{0, 0},
+	}
+}
+
+func TestProfileTimeSplit(t *testing.T) {
+	p := BuildProfile(synthetic(), 10)
+	approx := func(got, want time.Duration) bool {
+		d := got - want
+		return d > -time.Millisecond && d < time.Millisecond
+	}
+	w0, w1 := p.Workers[0], p.Workers[1]
+	if !approx(w0.Busy, 60*time.Millisecond) {
+		t.Errorf("w0 busy = %v, want ~60ms", w0.Busy)
+	}
+	// w0 idle slice [60,100] is open at the window end; park [70,90] is
+	// subtracted, leaving 20ms of hunting.
+	if !approx(w0.Hunt, 20*time.Millisecond) {
+		t.Errorf("w0 hunt = %v, want ~20ms", w0.Hunt)
+	}
+	if !approx(w0.Parked, 20*time.Millisecond) {
+		t.Errorf("w0 parked = %v, want ~20ms", w0.Parked)
+	}
+	if w0.Tasks != 2 || w0.Spawns != 1 || w0.MaxLiveFrames != 2 {
+		t.Errorf("w0 counts = %+v, want 2 tasks, 1 spawn, maxlf 2", w0)
+	}
+	if !approx(w1.Busy, 30*time.Millisecond) || !approx(w1.Hunt, 20*time.Millisecond) {
+		t.Errorf("w1 busy/hunt = %v/%v, want ~30ms/~20ms", w1.Busy, w1.Hunt)
+	}
+	if w1.Steals != 1 || w1.StealAttempts != 2 {
+		t.Errorf("w1 steals/attempts = %d/%d, want 1/2", w1.Steals, w1.StealAttempts)
+	}
+	// Steal latency: first probe 5ms, success 15ms → 10ms.
+	if p.StealLatency.N != 1 || !approx(p.StealLatency.Max, 10*time.Millisecond) {
+		t.Errorf("steal latency n=%d max=%v, want 1 at ~10ms", p.StealLatency.N, p.StealLatency.Max)
+	}
+	// Global live frames peak: w0 has 2 nested during [10,30], w1 one
+	// during [20,50] → 3.
+	if p.MaxLiveFrames != 3 {
+		t.Errorf("global live-frame high water = %d, want 3", p.MaxLiveFrames)
+	}
+	// Observed parallelism = (60+30)ms busy / 100ms wall = 0.9.
+	if op := p.ObservedParallelism(); op < 0.85 || op > 0.95 {
+		t.Errorf("observed parallelism = %v, want ~0.9", op)
+	}
+	// Utilization buckets: [0,10ms) has w0 busy only → 0.5; [20,30ms) has
+	// both busy → 1.0; [60,70ms) has neither → 0.
+	if u := p.Utilization[0]; u < 0.45 || u > 0.55 {
+		t.Errorf("utilization[0] = %v, want ~0.5", u)
+	}
+	if u := p.Utilization[2]; u < 0.95 {
+		t.Errorf("utilization[2] = %v, want ~1.0", u)
+	}
+	if u := p.Utilization[6]; u > 0.05 {
+		t.Errorf("utilization[6] = %v, want ~0", u)
+	}
+	// LiveFrames series: bucket 2 ([20,30ms)) should see the peak of 3;
+	// bucket 7 ([70,80ms)) has nothing live.
+	if p.LiveFrames[2] != 3 {
+		t.Errorf("liveFrames[2] = %d, want 3", p.LiveFrames[2])
+	}
+	if p.LiveFrames[7] != 0 {
+		t.Errorf("liveFrames[7] = %d, want 0", p.LiveFrames[7])
+	}
+	// Render must not panic and should mention the headline numbers.
+	out := p.Render()
+	for _, want := range []string{"2 workers", "steal latency", "live frames", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileSanitizesUnmatchedEnds(t *testing.T) {
+	// A wrapped ring can begin mid-task: end events with no start.
+	tr := &Trace{
+		Duration: time.Millisecond,
+		Workers: [][]Event{{
+			{When: 10, Kind: KindTaskEnd},
+			{When: 20, Kind: KindIdleExit},
+			{When: 30, Kind: KindUnpark},
+			{When: 40, Kind: KindTaskStart, Run: 1},
+			{When: 50, Kind: KindTaskEnd},
+		}},
+		Dropped: []int64{100},
+	}
+	p := BuildProfile(tr, 4)
+	if p.Workers[0].Tasks != 1 {
+		t.Errorf("tasks = %d, want 1", p.Workers[0].Tasks)
+	}
+	if p.MaxLiveFrames != 1 {
+		t.Errorf("maxLiveFrames = %d, want 1", p.MaxLiveFrames)
+	}
+	if p.Dropped != 100 {
+		t.Errorf("dropped = %d, want 100", p.Dropped)
+	}
+}
+
+// TestProfileOpensStraddlingIntervals: a worker parked since before Start
+// emits Unpark/IdleExit with no matching starts; the profile must charge
+// that time as parked/idle from the window start, not drop it.
+func TestProfileOpensStraddlingIntervals(t *testing.T) {
+	ms := int64(time.Millisecond)
+	tr := &Trace{
+		Duration: time.Duration(10 * ms),
+		Workers: [][]Event{{
+			{When: 5 * ms, Kind: KindUnpark},
+			{When: 6 * ms, Kind: KindIdleExit},
+			{When: 6 * ms, Kind: KindTaskStart, Run: 1},
+			{When: 10 * ms, Kind: KindTaskEnd},
+		}},
+		Dropped: []int64{0},
+	}
+	p := BuildProfile(tr, 10)
+	w := p.Workers[0]
+	if w.Parked != 5*time.Millisecond {
+		t.Errorf("parked = %v, want 5ms (since window start)", w.Parked)
+	}
+	if w.Hunt != time.Millisecond {
+		t.Errorf("hunt = %v, want 1ms (idle 6ms − parked 5ms)", w.Hunt)
+	}
+	if w.Busy != 4*time.Millisecond {
+		t.Errorf("busy = %v, want 4ms", w.Busy)
+	}
+	// A task open since the window start counts as busy but not as a task.
+	tr2 := &Trace{
+		Duration: time.Duration(10 * ms),
+		Workers: [][]Event{{
+			{When: 4 * ms, Kind: KindTaskEnd},
+		}},
+		Dropped: []int64{0},
+	}
+	p2 := BuildProfile(tr2, 10)
+	if w := p2.Workers[0]; w.Busy != 4*time.Millisecond || w.Tasks != 0 {
+		t.Errorf("pre-open task: busy = %v tasks = %d, want 4ms and 0", w.Busy, w.Tasks)
+	}
+	if p2.MaxLiveFrames != 1 {
+		t.Errorf("pre-open task: maxLiveFrames = %d, want 1", p2.MaxLiveFrames)
+	}
+}
+
+// chromeFile is the decoded shape of the exported JSON.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		TS    float64        `json:"ts"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, synthetic()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	begins := map[int]int{}
+	ends := map[int]int{}
+	threads := map[int]bool{}
+	var taskSeen, stealSeen, idleSeen, counterSeen bool
+	for _, ev := range f.TraceEvents {
+		switch ev.Phase {
+		case "B":
+			begins[ev.TID]++
+		case "E":
+			ends[ev.TID]++
+		case "M":
+			if ev.Name == "thread_name" {
+				threads[ev.TID] = true
+			}
+		case "C":
+			counterSeen = true
+		}
+		switch ev.Name {
+		case "task":
+			taskSeen = true
+		case "steal":
+			stealSeen = true
+		case "idle":
+			idleSeen = true
+		}
+	}
+	for tid := 0; tid < 2; tid++ {
+		if !threads[tid] {
+			t.Errorf("no thread_name metadata for worker %d", tid)
+		}
+		if begins[tid] != ends[tid] {
+			t.Errorf("worker %d has %d begins but %d ends", tid, begins[tid], ends[tid])
+		}
+	}
+	if !taskSeen || !stealSeen || !idleSeen || !counterSeen {
+		t.Errorf("export missing event types: task=%v steal=%v idle=%v counter=%v",
+			taskSeen, stealSeen, idleSeen, counterSeen)
+	}
+}
+
+func TestWriteChromeClosesOpenSlices(t *testing.T) {
+	tr := &Trace{
+		Duration: time.Millisecond,
+		Workers: [][]Event{{
+			{When: 10, Kind: KindTaskStart, Run: 1}, // never ends
+			{When: 20, Kind: KindIdleEnter},         // never exits
+		}},
+		Dropped: []int64{0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var b, e int
+	for _, ev := range f.TraceEvents {
+		if ev.Phase == "B" {
+			b++
+		}
+		if ev.Phase == "E" {
+			e++
+		}
+	}
+	if b != e {
+		t.Errorf("begins %d != ends %d; open slices not closed", b, e)
+	}
+}
