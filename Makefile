@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench bench-cancel clean
 
 all: build vet test
 
@@ -24,5 +24,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_trace.json
 
+# Cancellation-overhead gate: run the C-series benchmarks (uncancelled fib and
+# matmul through the robustness layer, plus cancel latency) and diff the
+# uncancelled runs against the committed seed measurement — the resulting
+# BENCH_cancel.json carries overhead_pct vs. seed per benchmark.
+bench-cancel:
+	$(GO) test -run '^$$' -bench 'BenchmarkCancel' -benchmem -count=3 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_cancel.json
+
 clean:
-	rm -f BENCH_trace.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json trace.json

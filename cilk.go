@@ -21,6 +21,14 @@
 //		})
 //	})
 //
+// For server use, computations are context-aware: Runtime.RunCtx abandons
+// the computation cooperatively when the context is canceled or its
+// deadline passes (returning ErrCanceled or ErrDeadlineExceeded), panics
+// are quarantined per run (a *PanicError carrying every sibling panic; the
+// runtime stays healthy), and Runtime.ShutdownDrain bounds how long
+// in-flight work may outlive a shutdown. See the "API at a glance" table
+// in README.md.
+//
 // Subsystem packages (importable directly for their full APIs):
 //
 //	internal/sched    the work-stealing scheduler (§3)
@@ -54,8 +62,12 @@ type (
 	Option = sched.Option
 	// Stats reports scheduler counters (spawns, steals, frame depths).
 	Stats = sched.Stats
-	// PanicError wraps a panic captured inside a computation.
+	// PanicError reports the panics quarantined during a computation: the
+	// first panic cancels the rest of the run, and every captured sibling
+	// panic is collected in PanicError.All.
 	PanicError = sched.PanicError
+	// Panic is one quarantined panic (value + stack) inside a PanicError.
+	Panic = sched.Panic
 	// Tracer is the per-worker event tracer installed by the Tracing
 	// option; retrieve it with Runtime.Tracer, bracket a recording window
 	// with Start/Stop, and feed the resulting Trace to WriteChromeTrace or
@@ -68,36 +80,82 @@ type (
 	TraceProfile = trace.Profile
 )
 
+// Sentinel errors of the runtime's robustness layer, re-exported from
+// internal/sched. Each also matches its context counterpart under
+// errors.Is: errors.Is(ErrCanceled, context.Canceled) and
+// errors.Is(ErrDeadlineExceeded, context.DeadlineExceeded) hold.
+var (
+	// ErrCanceled is returned by Runtime.RunCtx when the computation was
+	// abandoned because its context was canceled.
+	ErrCanceled = sched.ErrCanceled
+	// ErrDeadlineExceeded is returned by Runtime.RunCtx when the
+	// computation was abandoned because its context's deadline passed.
+	ErrDeadlineExceeded = sched.ErrDeadlineExceeded
+	// ErrShutdown is returned by Run on a runtime that has been shut
+	// down, and by in-flight Runs canceled at ShutdownDrain's deadline.
+	ErrShutdown = sched.ErrShutdown
+)
+
 // New creates a runtime with one worker per processor (override with
-// Workers) and starts its workers.
+// WithWorkers) and starts its workers.
 func New(opts ...Option) *Runtime { return sched.New(opts...) }
 
-// Workers sets the number of workers.
-func Workers(n int) Option { return sched.Workers(n) }
+// WithWorkers sets the number of workers.
+func WithWorkers(n int) Option { return sched.WithWorkers(n) }
 
-// SerialElision makes the runtime execute programs as their serial
+// WithSerialElision makes the runtime execute programs as their serial
 // elisions, as the race detector and profiler require.
-func SerialElision() Option { return sched.SerialElision() }
+func WithSerialElision() Option { return sched.WithSerialElision() }
 
-// StealSeed makes the schedule's random victim selection reproducible.
-func StealSeed(seed int64) Option { return sched.StealSeed(seed) }
+// WithStealSeed makes the schedule's random victim selection reproducible.
+func WithStealSeed(seed int64) Option { return sched.WithStealSeed(seed) }
 
-// Tracing equips the runtime with low-overhead per-worker event tracing of
-// the parallel schedule: task start/end, spawns, steal attempts and
-// successes (with victim ids), idle hunting, and parking. The tracer starts
+// WithTracing equips the runtime with low-overhead per-worker event tracing
+// of the parallel schedule: task start/end, spawns, steal attempts and
+// successes (with victim ids), idle hunting, parking, and — on cancelled or
+// panicking runs — task skips and quarantined panics. The tracer starts
 // disabled — until Runtime.Tracer().Start() is called every
 // instrumentation site costs a single atomic load and branch.
 //
-//	rt := cilkgo.New(cilkgo.Tracing())
+//	rt := cilkgo.New(cilkgo.WithTracing())
 //	rt.Tracer().Start()
 //	rt.Run(...)
 //	t := rt.Tracer().Stop()
 //	cilkgo.WriteChromeTrace(f, t)      // view in Perfetto / chrome://tracing
 //	fmt.Print(cilkgo.Summarize(t).Render())
-func Tracing(opts ...sched.TraceOption) Option { return sched.Tracing(opts...) }
+func WithTracing(opts ...sched.TraceOption) Option { return sched.WithTracing(opts...) }
 
-// TraceCapacity sets the per-worker trace ring-buffer capacity in events
-// (default 65536; oldest events are overwritten on overflow).
+// WithTraceCapacity sets the per-worker trace ring-buffer capacity in
+// events (default 65536; oldest events are overwritten on overflow).
+func WithTraceCapacity(events int) sched.TraceOption { return trace.Capacity(events) }
+
+// Deprecated option aliases: the pre-redesign names, kept so existing
+// callers keep compiling. New code should use the uniform With-prefixed
+// forms above.
+
+// Workers sets the number of workers.
+//
+// Deprecated: use WithWorkers.
+func Workers(n int) Option { return sched.WithWorkers(n) }
+
+// SerialElision selects serial-elision execution.
+//
+// Deprecated: use WithSerialElision.
+func SerialElision() Option { return sched.WithSerialElision() }
+
+// StealSeed makes the schedule's random victim selection reproducible.
+//
+// Deprecated: use WithStealSeed.
+func StealSeed(seed int64) Option { return sched.WithStealSeed(seed) }
+
+// Tracing equips the runtime with per-worker event tracing.
+//
+// Deprecated: use WithTracing.
+func Tracing(opts ...sched.TraceOption) Option { return sched.WithTracing(opts...) }
+
+// TraceCapacity sets the per-worker trace ring-buffer capacity.
+//
+// Deprecated: use WithTraceCapacity.
 func TraceCapacity(events int) sched.TraceOption { return trace.Capacity(events) }
 
 // WriteChromeTrace writes a drained trace as Chrome trace-event JSON, one

@@ -1,14 +1,25 @@
 // Benchjson converts `go test -bench` output on stdin into a JSON array on
 // stdout, one object per benchmark result, so benchmark runs can be
 // recorded and diffed across commits (the Makefile's `bench` target pipes
-// into it to produce BENCH_trace.json).
+// into it to produce BENCH_trace.json, and `bench-cancel` into
+// BENCH_cancel.json).
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson
+//
+// Repeated samples of the same benchmark (from -count=N) collapse into one
+// entry carrying the minimum ns/op — noise only ever adds time — along with
+// the sample count and the worst observed ns/op.
+//
+// With -baseline file.json (a previous benchjson output, e.g. the committed
+// seed measurement), each result whose name matches a baseline entry gains
+// baseline_ns_per_op and overhead_pct = 100·(now−baseline)/baseline, so the
+// recorded JSON carries the cross-commit comparison itself.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -25,9 +36,82 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Set when -count produced repeated samples of this benchmark:
+	// ns_per_op above is the fastest of Samples runs, MaxNsPerOp the slowest.
+	Samples    int     `json:"samples,omitempty"`
+	MaxNsPerOp float64 `json:"max_ns_per_op,omitempty"`
+	// Set only when -baseline matched this benchmark by name.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	OverheadPct     float64 `json:"overhead_pct,omitempty"`
+}
+
+// loadBaseline reads a previous benchjson output into a name → ns/op map.
+func loadBaseline(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var prev []result
+	if err := json.NewDecoder(f).Decode(&prev); err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64, len(prev))
+	for _, r := range prev {
+		m[r.Name] = r.NsPerOp
+	}
+	return m, nil
+}
+
+// collapse merges repeated samples of the same benchmark (go test -count=N)
+// into one entry per name, in first-appearance order, keeping the sample
+// whose ns/op is lowest and recording the spread.
+func collapse(in []result) []result {
+	var order []string
+	best := make(map[string]result, len(in))
+	for _, r := range in {
+		prev, seen := best[r.Name]
+		if !seen {
+			order = append(order, r.Name)
+			r.Samples = 1
+			r.MaxNsPerOp = r.NsPerOp
+			best[r.Name] = r
+			continue
+		}
+		max := prev.MaxNsPerOp
+		if r.NsPerOp > max {
+			max = r.NsPerOp
+		}
+		if r.NsPerOp < prev.NsPerOp {
+			r.Samples, r.MaxNsPerOp = prev.Samples+1, max
+			best[r.Name] = r
+		} else {
+			prev.Samples, prev.MaxNsPerOp = prev.Samples+1, max
+			best[r.Name] = prev
+		}
+	}
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		r := best[name]
+		if r.Samples == 1 {
+			r.Samples, r.MaxNsPerOp = 0, 0 // omitempty: single samples stay terse
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 func main() {
+	baselinePath := flag.String("baseline", "", "previous benchjson output to diff against")
+	flag.Parse()
+	var baseline map[string]float64
+	if *baselinePath != "" {
+		var err error
+		if baseline, err = loadBaseline(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -63,6 +147,13 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	results = collapse(results)
+	for i := range results {
+		if base, ok := baseline[results[i].Name]; ok && base > 0 {
+			results[i].BaselineNsPerOp = base
+			results[i].OverheadPct = 100 * (results[i].NsPerOp - base) / base
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

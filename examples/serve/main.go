@@ -1,0 +1,172 @@
+// Serve demonstrates the runtime as the compute engine of an HTTP server —
+// the ROADMAP's production posture. One shared work-stealing runtime
+// executes a cilk_for workload per request under that request's deadline:
+//
+//   - every handler calls rt.RunCtx with the request context plus a
+//     per-request timeout, so an impatient client or an expired deadline
+//     abandons the computation cooperatively (ErrCanceled /
+//     ErrDeadlineExceeded → HTTP 499/504) instead of burning workers;
+//   - scheduler counters — including tasks_skipped, runs_canceled, and
+//     panics_quarantined from the robustness layer — are published on
+//     /debug/vars via cilkgo.PublishExpvar;
+//   - SIGINT/SIGTERM drains gracefully: the HTTP listener stops, then
+//     Runtime.ShutdownDrain gives in-flight computations a bounded grace
+//     period before cancelling them with ErrShutdown.
+//
+// Try it:
+//
+//	go run ./examples/serve -addr :8080 &
+//	curl 'localhost:8080/matmul?n=256'            # completes
+//	curl 'localhost:8080/matmul?n=2048&budget=50ms'  # deadline exceeded → 504
+//	curl 'localhost:8080/debug/vars'              # scheduler metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"cilkgo"
+	"cilkgo/internal/workloads"
+
+	_ "expvar" // registers /debug/vars on the default mux
+)
+
+var (
+	addr    = flag.String("addr", ":8080", "listen address")
+	workers = flag.Int("workers", 0, "cilk workers (0 = one per processor)")
+	budget  = flag.Duration("budget", 2*time.Second, "default per-request compute budget")
+	drain   = flag.Duration("drain", 5*time.Second, "shutdown drain for in-flight requests")
+)
+
+func main() {
+	flag.Parse()
+	var opts []cilkgo.Option
+	if *workers > 0 {
+		opts = append(opts, cilkgo.WithWorkers(*workers))
+	}
+	rt := cilkgo.New(opts...)
+	cilkgo.PublishExpvar("cilk", rt)
+
+	mux := http.DefaultServeMux
+	mux.HandleFunc("/matmul", handle(rt, matmul))
+	mux.HandleFunc("/sinsum", handle(rt, sinsum))
+
+	srv := &http.Server{Addr: *addr}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (budget %v, drain %v)", *addr, *budget, *drain)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	case err := <-errc:
+		log.Fatalf("listener: %v", err)
+	}
+
+	// Stop accepting requests, then drain the runtime: computations still
+	// in flight get up to -drain to finish before being cancelled with
+	// ErrShutdown.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if rt.ShutdownDrain(*drain) {
+		log.Printf("drained cleanly")
+	} else {
+		log.Printf("drain deadline hit: in-flight computations cancelled")
+	}
+}
+
+// handle wraps a workload so every request runs it under the request
+// context bounded by the per-request budget, mapping the robustness-layer
+// errors to HTTP statuses.
+func handle(rt *cilkgo.Runtime, work func(c *cilkgo.Context, n int) float64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 || v > 1<<20 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		b := *budget
+		if s := r.URL.Query().Get("budget"); s != "" {
+			v, err := time.ParseDuration(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad budget", http.StatusBadRequest)
+				return
+			}
+			b = v
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), b)
+		defer cancel()
+
+		var result float64
+		start := time.Now()
+		err := rt.RunCtx(ctx, func(c *cilkgo.Context) { result = work(c, n) })
+		elapsed := time.Since(start)
+		switch {
+		case err == nil:
+			fmt.Fprintf(w, "result=%g n=%d elapsed=%v\n", result, n, elapsed)
+		case errors.Is(err, cilkgo.ErrDeadlineExceeded):
+			http.Error(w, fmt.Sprintf("compute budget %v exceeded after %v", b, elapsed),
+				http.StatusGatewayTimeout)
+		case errors.Is(err, cilkgo.ErrCanceled):
+			// Client went away; 499 in nginx's dialect.
+			http.Error(w, "client cancelled", 499)
+		case errors.Is(err, cilkgo.ErrShutdown):
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+		default:
+			// A quarantined panic: this request failed, the runtime is fine.
+			var pe *cilkgo.PanicError
+			if errors.As(err, &pe) {
+				log.Printf("request panic quarantined: %v", pe)
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// matmul multiplies two n×n matrices with the cilk_for-based workload and
+// returns a checksum element.
+func matmul(c *cilkgo.Context, n int) float64 {
+	a, b, out := workloads.NewMatrix(n), workloads.NewMatrix(n), workloads.NewMatrix(n)
+	cilkgo.For(c, 0, n, func(c *cilkgo.Context, i int) {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64(i+j))
+			b.Set(i, j, float64(i-j))
+		}
+	})
+	workloads.MatMul(c, a, b, out)
+	return out.At(n/2, n/2)
+}
+
+// sinsum fills an n-element array with sines in parallel (the paper's
+// Fig. 1 loop) and folds the sum on the calling strand after the loop's
+// implicit sync.
+func sinsum(c *cilkgo.Context, n int) float64 {
+	a := make([]float64, n)
+	cilkgo.For(c, 0, n, func(c *cilkgo.Context, i int) {
+		a[i] = math.Sin(float64(i))
+	})
+	var sum float64
+	for _, v := range a {
+		sum += v
+	}
+	return sum
+}

@@ -11,6 +11,14 @@
 // Like cilk_for, a loop here is a complete fork-join nest: For returns only
 // after every iteration has finished (there is an implicit sync), and
 // iterations must not depend on one another.
+//
+// Loops cooperate with the scheduler's cancellation layer: once the
+// enclosing run is cancelled (context, deadline, sibling panic, or
+// shutdown drain), the recursion stops splitting and remaining chunks are
+// skipped — the chunk boundary is a cancel check site, one atomic load per
+// chunk, so at most the chunks already executing finish. Iterations that
+// did run still fold their reducer views in serial order at the loop's
+// sync (see internal/hyper).
 package pfor
 
 import (
@@ -67,13 +75,21 @@ func ForGrain(c *sched.Context, lo, hi, grain int, body func(c *sched.Context, i
 
 // forRec recursively halves [lo, hi), spawning the left half and recursing
 // into the right, exactly the divide-and-conquer elision of cilk_for. The
-// enclosing called frame issues the implicit sync.
+// enclosing called frame issues the implicit sync. A cancelled run stops
+// the recursion before each split and before each serial chunk, so no new
+// chunk starts once cancellation is observed.
 func forRec(c *sched.Context, lo, hi, grain int, body func(c *sched.Context, i int)) {
 	for hi-lo > grain {
+		if c.Cancelled() {
+			return
+		}
 		mid := lo + (hi-lo)/2
 		lo2 := lo
 		c.Spawn(func(c *sched.Context) { forRec(c, lo2, mid, grain, body) })
 		lo = mid
+	}
+	if c.Cancelled() {
+		return
 	}
 	for i := lo; i < hi; i++ {
 		body(c, i)

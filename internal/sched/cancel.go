@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// This file is the runtime's robustness layer: cooperative cancellation,
+// deadlines, panic quarantine, and graceful shutdown draining.
+//
+// Cilk++ has no cancellation story — cilk_sync always waits for every
+// spawned child to run to completion, and the §3 performance bounds assume
+// the computation runs to the end. A server cannot: requests are cancelled,
+// deadlines expire, and one strand's panic must not take the process (or
+// even the runtime) with it. The design here preserves the dag model by
+// cancelling *cooperatively at strand boundaries*: a cancelled run never
+// interrupts a running strand, it only stops new strands from starting.
+// Every spawned task still joins its parent (its frame is popped and its
+// join counter decremented — it is merely not executed), so sync still
+// means "all children have completed or been abandoned", reducer views
+// still fold in serial order, and the runtime's invariants hold for the
+// next Run.
+//
+// The cancel gate is one per-run atomic bool, checked at the spawn, steal
+// (task-start), and per-chunk (internal/pfor) boundaries — the same
+// single-atomic-load gating pattern as the tracer, so the uncancelled hot
+// path stays within noise of a runtime without the layer.
+
+// Sentinel errors returned by Run/RunCtx. Each also matches its context
+// counterpart under errors.Is (ErrCanceled ↔ context.Canceled,
+// ErrDeadlineExceeded ↔ context.DeadlineExceeded), so callers holding only
+// the context idiom need no new comparisons.
+var (
+	// ErrCanceled is returned by RunCtx when the computation was abandoned
+	// because its context was canceled.
+	ErrCanceled error = &cancelError{msg: "sched: computation canceled", is: context.Canceled}
+	// ErrDeadlineExceeded is returned by RunCtx when the computation was
+	// abandoned because its context's deadline passed.
+	ErrDeadlineExceeded error = &cancelError{msg: "sched: computation deadline exceeded", is: context.DeadlineExceeded}
+	// ErrShutdown is returned by Run on a runtime that has been shut down,
+	// and by in-flight Runs that ShutdownDrain cancels at its drain
+	// deadline.
+	ErrShutdown error = &cancelError{msg: "sched: runtime is shut down"}
+
+	// errSiblingPanic is the cancel cause installed when a strand panics:
+	// the rest of the run is abandoned while the panic is quarantined.
+	// Run reports the quarantined *PanicError itself, so this cause is
+	// only observable mid-run via Context.Err.
+	errSiblingPanic = errors.New("sched: run canceled by a panicking sibling strand")
+)
+
+// cancelError is a sentinel error that also matches a stdlib context error
+// under errors.Is.
+type cancelError struct {
+	msg string
+	is  error // stdlib counterpart, or nil
+}
+
+func (e *cancelError) Error() string { return e.msg }
+
+func (e *cancelError) Is(target error) bool { return e.is != nil && target == e.is }
+
+// mapCtxErr translates a context error into the runtime's sentinel.
+func mapCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case err == nil:
+		return nil
+	default:
+		return err
+	}
+}
+
+// cancelWith requests cooperative cancellation of the run with the given
+// cause. The first caller wins; later causes are dropped. Publishing order
+// matters: the cause is written before the canceled flag is raised, so any
+// strand that observes canceled==true also observes the cause.
+func (rs *runState) cancelWith(cause error) {
+	rs.cancelOnce.Do(func() {
+		rs.cause = cause
+		rs.canceled.Store(true)
+		if rs.rt != nil {
+			rs.rt.runsCanceled.Add(1)
+		}
+	})
+}
+
+// cancelled reports whether the run has been canceled — the single atomic
+// load every check site pays.
+func (rs *runState) cancelled() bool { return rs.canceled.Load() }
+
+// err folds the run's terminal state into the error Run returns: a
+// quarantined *PanicError if any strand panicked (carrying every sibling
+// panic), else the cancel cause, else nil.
+func (rs *runState) err() error {
+	rs.panicMu.Lock()
+	panics := rs.panics
+	rs.panicMu.Unlock()
+	if len(panics) > 0 {
+		return &PanicError{Value: panics[0].Value, Stack: panics[0].Stack, All: panics}
+	}
+	if rs.canceled.Load() {
+		return rs.cause
+	}
+	return nil
+}
+
+// watch arranges for the run to be canceled when ctx is done, returning a
+// stop function the caller must invoke once the run has completed. A
+// background context (no Done channel) installs nothing and costs nothing.
+func (rs *runState) watch(ctx context.Context) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	cancel := context.AfterFunc(ctx, func() {
+		rs.cancelWith(mapCtxErr(ctx.Err()))
+	})
+	return func() { cancel() }
+}
+
+// Cancelled reports whether this strand's run has been canceled (by its
+// context, a deadline, a sibling panic, or ShutdownDrain). Long serial
+// strands — a big grain of a cilk_for, a tight loop between spawns — should
+// poll it at convenient boundaries and return early; the runtime itself
+// only cancels between strands, never inside one. The cost is one atomic
+// load.
+func (c *Context) Cancelled() bool { return c.frame.run.cancelled() }
+
+// Err returns nil while the strand's run is live, and the cancellation
+// cause once it has been canceled: ErrCanceled, ErrDeadlineExceeded,
+// ErrShutdown, or an internal marker when a sibling strand panicked (Run
+// itself reports the *PanicError).
+func (c *Context) Err() error {
+	rs := c.frame.run
+	if !rs.cancelled() {
+		return nil
+	}
+	return rs.cause
+}
+
+// RunCtx is Run under a context: the computation is cooperatively canceled
+// when ctx is canceled or its deadline passes, and RunCtx then returns
+// ErrCanceled or ErrDeadlineExceeded. Cancellation is abandonment, not
+// interruption — strands already running finish their current grain (or
+// poll Context.Cancelled and bail), strands not yet started are skipped,
+// and RunCtx returns only after the run's outstanding work has drained, so
+// no strand of the computation is still executing when it returns.
+//
+// Run is exactly RunCtx(context.Background(), fn).
+func (rt *Runtime) RunCtx(ctx context.Context, fn func(*Context)) error {
+	_, err := rt.run(ctx, fn, false)
+	return err
+}
+
+// RunWithStatsCtx is RunWithStats under a context, with RunCtx's
+// cancellation semantics. The returned Stats covers the work the
+// computation actually did before completing or being abandoned.
+func (rt *Runtime) RunWithStatsCtx(ctx context.Context, fn func(*Context)) (Stats, error) {
+	return rt.run(ctx, fn, true)
+}
+
+// ShutdownDrain gracefully shuts the runtime down: new Runs are rejected
+// immediately (they return ErrShutdown), in-flight Runs are given at most
+// drain to finish, and any still running at the deadline are canceled with
+// ErrShutdown and abandoned cooperatively. ShutdownDrain returns after the
+// workers have exited; the result reports whether every in-flight Run
+// finished on its own (true) or the drain deadline forced cancellation
+// (false). A drain ≤ 0 cancels in-flight Runs immediately.
+//
+// Shutdown is ShutdownDrain with an unbounded drain. Both are idempotent
+// and safe to call concurrently; later calls simply wait for the workers.
+func (rt *Runtime) ShutdownDrain(drain time.Duration) bool {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+
+	deadline := time.Now().Add(drain)
+	drained := true
+	for {
+		rt.mu.Lock()
+		n := len(rt.active)
+		rt.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if drain <= 0 || !time.Now().Before(deadline) {
+			drained = false
+			rt.mu.Lock()
+			for rs := range rt.active {
+				rs.cancelWith(ErrShutdown)
+			}
+			rt.mu.Unlock()
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	rt.wg.Wait()
+	return drained
+}

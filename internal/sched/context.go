@@ -40,9 +40,16 @@ func (c *Context) Depth() int { return int(c.frame.depth) }
 //
 // In serial-elision mode Spawn simply calls fn, yielding exactly the serial
 // C++-elision execution order.
+//
+// On a cancelled run Spawn is a no-op — the spawn boundary is a cancel
+// check site (one atomic load), so a cancelled computation stops growing
+// its spawn tree.
 func (c *Context) Spawn(fn func(*Context)) {
 	if c.rt.cfg.serial {
 		c.spawnSerial(fn)
+		return
+	}
+	if c.frame.run.cancelled() {
 		return
 	}
 	f := c.frame
@@ -66,6 +73,9 @@ func (c *Context) Spawn(fn func(*Context)) {
 // instrumentation hooks in depth-first serial order. The child shares the
 // parent's view map, which trivially yields the serial reduction order.
 func (c *Context) spawnSerial(fn func(*Context)) {
+	if c.frame.run.cancelled() {
+		return
+	}
 	h := c.rt.cfg.hooks
 	if h != nil {
 		h.Spawn()

@@ -153,17 +153,30 @@ type Finalizer interface {
 	Finalize(v View)
 }
 
-// runState tracks one Run invocation: completion signaling, the first
-// captured panic, and (for RunWithStats) per-computation counters.
+// runState tracks one Run invocation: completion signaling, the
+// cooperative cancel gate, quarantined panics, and (for RunWithStats)
+// per-computation counters.
 type runState struct {
 	// id identifies the Run invocation, so trace events of concurrent
 	// computations sharing the workers can be told apart.
-	id         int64
-	stats      *runCounters // nil unless submitted via RunWithStats
-	done       chan struct{}
-	panicOnce  sync.Once
-	panicVal   any
-	panicStack []byte
+	id    int64
+	rt    *Runtime
+	stats *runCounters // nil unless submitted via RunWithStats
+	done  chan struct{}
+
+	// canceled is the cooperative cancel gate checked at the spawn,
+	// task-start, and per-chunk boundaries. cause is the error Run will
+	// report; it is written (once) before canceled is raised, so any
+	// strand observing canceled==true also observes cause.
+	canceled   atomic.Bool
+	cancelOnce sync.Once
+	cause      error
+
+	// panics quarantines every panic captured in the run, in capture
+	// order. The first panic cancels the run; siblings that panic while
+	// the run drains are collected rather than lost.
+	panicMu sync.Mutex
+	panics  []Panic
 }
 
 // runCounters are the per-computation analogue of workerStats: updated by
@@ -173,6 +186,7 @@ type runCounters struct {
 	spawns        atomic.Int64
 	steals        atomic.Int64
 	tasksRun      atomic.Int64
+	tasksSkipped  atomic.Int64
 	liveFrames    atomic.Int64
 	maxLiveFrames atomic.Int64
 	maxDepth      atomic.Int64
@@ -189,23 +203,32 @@ func (rs *runState) snapshot() Stats {
 		Spawns:        s.spawns.Load(),
 		Steals:        s.steals.Load(),
 		TasksRun:      s.tasksRun.Load(),
+		TasksSkipped:  s.tasksSkipped.Load(),
 		MaxLiveFrames: s.maxLiveFrames.Load(),
 		MaxDepth:      s.maxDepth.Load(),
 	}
 }
 
-// poison records the first panic of the computation.
+// poison quarantines a panic captured inside the computation and cancels
+// the rest of the run (the first panic installs the cancel cause; sibling
+// panics are collected alongside it). Must be called from the recovering
+// goroutine so the captured stack is the panicking strand's.
 func (rs *runState) poison(v any) {
-	rs.panicOnce.Do(func() {
-		rs.panicVal = v
-		rs.panicStack = debug.Stack()
-	})
+	rs.panicMu.Lock()
+	rs.panics = append(rs.panics, Panic{Value: v, Stack: debug.Stack()})
+	rs.panicMu.Unlock()
+	if rs.rt != nil {
+		rs.rt.panicsQuarantined.Add(1)
+	}
+	rs.cancelWith(errSiblingPanic)
 }
 
 // finish marks the run complete and releases the Run caller.
-func (rs *runState) finish(rt *Runtime) {
+func (rs *runState) finish() {
+	rt := rs.rt
 	rt.mu.Lock()
 	rt.activeRoots--
+	delete(rt.active, rs)
 	rt.mu.Unlock()
 	close(rs.done)
 }

@@ -25,6 +25,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -50,53 +51,82 @@ type config struct {
 // Option configures a Runtime.
 type Option func(*config)
 
-// Workers sets the number of workers (default: runtime.GOMAXPROCS(0)),
+// WithWorkers sets the number of workers (default: runtime.GOMAXPROCS(0)),
 // mirroring the Cilk++ runtime's one-worker-per-processor default, which
 // "the programmer can override" (§3.2).
-func Workers(n int) Option {
+func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
 }
 
-// SerialElision makes the runtime execute the program as its serial elision:
-// spawns become ordinary calls on the caller's goroutine, in depth-first
-// serial order. Instrumentation hooks fire only in this mode.
-func SerialElision() Option {
+// WithSerialElision makes the runtime execute the program as its serial
+// elision: spawns become ordinary calls on the caller's goroutine, in
+// depth-first serial order. Instrumentation hooks fire only in this mode.
+func WithSerialElision() Option {
 	return func(c *config) { c.serial = true }
 }
 
-// WithHooks installs instrumentation hooks. Hooks require SerialElision;
+// WithHooks installs instrumentation hooks. Hooks require WithSerialElision;
 // New panics otherwise.
 func WithHooks(h Hooks) Option {
 	return func(c *config) { c.hooks = h }
 }
 
-// StealSeed seeds the workers' random victim selection, making steal-order
-// reproducible for tests. The default seed is 1.
-func StealSeed(seed int64) Option {
+// WithStealSeed seeds the workers' random victim selection, making
+// steal-order reproducible for tests. The default seed is 1.
+func WithStealSeed(seed int64) Option {
 	return func(c *config) { c.stealSeed = seed }
 }
 
-// NoThreadLocking disables runtime.LockOSThread on workers. The default is
-// to lock, mirroring Cilk++'s allocation of one OS thread per processor.
-func NoThreadLocking() Option {
+// WithNoThreadLocking disables runtime.LockOSThread on workers. The default
+// is to lock, mirroring Cilk++'s allocation of one OS thread per processor.
+func WithNoThreadLocking() Option {
 	return func(c *config) { c.lockThreads = false }
 }
 
-// TraceOption configures the tracer installed by Tracing (see
+// TraceOption configures the tracer installed by WithTracing (see
 // internal/trace, e.g. trace.Capacity).
 type TraceOption = trace.Option
 
-// Tracing equips the runtime with a per-worker event tracer (see
+// WithTracing equips the runtime with a per-worker event tracer (see
 // internal/trace). The tracer starts disabled: until Tracer().Start() is
 // called, every instrumentation site costs one atomic load and a branch.
 // Tracing observes the parallel schedule and therefore requires a parallel
-// runtime; New panics if combined with SerialElision (use Hooks there).
-func Tracing(opts ...TraceOption) Option {
+// runtime; New panics if combined with WithSerialElision (use Hooks there).
+func WithTracing(opts ...TraceOption) Option {
 	return func(c *config) {
 		c.trace = true
 		c.traceOpts = opts
 	}
 }
+
+// Deprecated option aliases: the pre-redesign names, kept as thin wrappers
+// so existing callers keep compiling. New code should use the uniform
+// With-prefixed forms above.
+
+// Workers sets the number of workers.
+//
+// Deprecated: use WithWorkers.
+func Workers(n int) Option { return WithWorkers(n) }
+
+// SerialElision selects serial-elision execution.
+//
+// Deprecated: use WithSerialElision.
+func SerialElision() Option { return WithSerialElision() }
+
+// StealSeed seeds random victim selection.
+//
+// Deprecated: use WithStealSeed.
+func StealSeed(seed int64) Option { return WithStealSeed(seed) }
+
+// NoThreadLocking disables runtime.LockOSThread on workers.
+//
+// Deprecated: use WithNoThreadLocking.
+func NoThreadLocking() Option { return WithNoThreadLocking() }
+
+// Tracing equips the runtime with a per-worker event tracer.
+//
+// Deprecated: use WithTracing.
+func Tracing(opts ...TraceOption) Option { return WithTracing(opts...) }
 
 // Runtime is a Cilk work-stealing scheduler instance. Construct with New,
 // submit computations with Run, and release the workers with Shutdown.
@@ -106,9 +136,14 @@ type Runtime struct {
 	tracer  *trace.Tracer // nil unless the Tracing option was given
 	runIDs  atomic.Int64  // Run invocation ids, for trace attribution
 
+	// Robustness-layer counters (see cancel.go and Metrics).
+	runsCanceled      atomic.Int64
+	panicsQuarantined atomic.Int64
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	inject      []*task // root tasks awaiting pickup
+	active      map[*runState]struct{}
 	activeRoots int
 	closed      bool
 	wg          sync.WaitGroup
@@ -137,7 +172,7 @@ func New(opts ...Option) *Runtime {
 	if cfg.serial {
 		cfg.workers = 1
 	}
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, active: make(map[*runState]struct{})}
 	rt.cond = sync.NewCond(&rt.mu)
 	if cfg.serial {
 		return rt
@@ -177,12 +212,15 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
 
 // Run executes fn as the root of a fork-join computation and blocks until
 // the computation — including everything it spawned — completes. A panic
-// anywhere in the computation is captured and returned as a *PanicError
-// after all outstanding work has drained. Run may be called concurrently
-// from several goroutines; the computations share the workers (§3.2's
-// performance composability).
+// anywhere in the computation is quarantined and returned as a *PanicError
+// after all outstanding work has drained (the rest of the run is abandoned
+// cooperatively; the runtime stays healthy for subsequent Runs). Run may be
+// called concurrently from several goroutines; the computations share the
+// workers (§3.2's performance composability). Run is
+// RunCtx(context.Background(), fn); use RunCtx for cancellation and
+// deadlines.
 func (rt *Runtime) Run(fn func(*Context)) error {
-	_, err := rt.run(fn, false)
+	_, err := rt.run(context.Background(), fn, false)
 	return err
 }
 
@@ -195,15 +233,20 @@ func (rt *Runtime) Run(fn func(*Context)) error {
 // accounting costs a few per-run atomic increments; plain Run pays only a
 // nil check per site.
 func (rt *Runtime) RunWithStats(fn func(*Context)) (Stats, error) {
-	return rt.run(fn, true)
+	return rt.run(context.Background(), fn, true)
 }
 
-func (rt *Runtime) run(fn func(*Context), track bool) (Stats, error) {
-	rs := &runState{id: rt.runIDs.Add(1), done: make(chan struct{})}
+func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, mapCtxErr(err)
+	}
+	rs := &runState{id: rt.runIDs.Add(1), rt: rt, done: make(chan struct{})}
 	if track {
 		rs.stats = &runCounters{}
 	}
 	if rt.cfg.serial {
+		stop := rs.watch(ctx)
+		defer stop()
 		err := rt.runSerial(fn, rs)
 		return rs.snapshot(), err
 	}
@@ -216,24 +259,39 @@ func (rt *Runtime) run(fn func(*Context), track bool) (Stats, error) {
 		return Stats{}, ErrShutdown
 	}
 	rt.activeRoots++
+	rt.active[rs] = struct{}{}
 	rt.inject = append(rt.inject, t)
 	rt.cond.Broadcast()
 	rt.mu.Unlock()
 
+	stop := rs.watch(ctx)
 	<-rs.done
-	if rs.panicVal != nil {
-		return rs.snapshot(), &PanicError{Value: rs.panicVal, Stack: rs.panicStack}
-	}
-	return rs.snapshot(), nil
+	stop()
+	return rs.snapshot(), rs.err()
 }
 
 // runSerial executes fn's serial elision on the caller's goroutine.
 func (rt *Runtime) runSerial(fn func(*Context), rs *runState) (err error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrShutdown
+	}
+	rt.active[rs] = struct{}{}
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		delete(rt.active, rs)
+		rt.mu.Unlock()
+	}()
 	root := &frame{run: rs}
 	ctx := &Context{rt: rt, frame: root}
 	defer func() {
 		if r := recover(); r != nil {
-			err = &PanicError{Value: r}
+			rs.poison(r)
+		}
+		if e := rs.err(); e != nil {
+			err = e
 		}
 	}()
 	if s := rs.stats; s != nil {
@@ -259,8 +317,10 @@ func finalizeViews(views viewMap) {
 	}
 }
 
-// Shutdown stops the workers after in-flight computations finish being
-// picked up. Run must not be called after Shutdown.
+// Shutdown stops the workers after letting in-flight computations run to
+// completion (an unbounded drain). New Runs submitted after Shutdown return
+// ErrShutdown. For a bounded drain that cancels stragglers, use
+// ShutdownDrain. Shutdown is idempotent.
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	rt.closed = true
@@ -269,20 +329,29 @@ func (rt *Runtime) Shutdown() {
 	rt.wg.Wait()
 }
 
-// ErrShutdown is returned by Run on a runtime that has been shut down.
-var ErrShutdown = errShutdown{}
+// Panic is one quarantined panic: the value passed to panic and the stack
+// of the panicking strand.
+type Panic struct {
+	Value any
+	Stack []byte
+}
 
-type errShutdown struct{}
-
-func (errShutdown) Error() string { return "sched: runtime is shut down" }
-
-// PanicError wraps a panic captured inside a computation submitted to Run.
+// PanicError reports the panics quarantined during a computation submitted
+// to Run. The first panic cancels the rest of the run; strands already
+// executing when that happens may panic too, and every captured panic is
+// collected in All rather than lost. Value and Stack mirror All[0] so
+// existing single-panic consumers keep working.
 type PanicError struct {
-	Value any    // the value passed to panic
-	Stack []byte // stack of the panicking task, if captured
+	Value any     // the first panic's value
+	Stack []byte  // the first panic's stack, if captured
+	All   []Panic // every quarantined panic, in capture order
 }
 
 func (e *PanicError) Error() string {
+	if len(e.All) > 1 {
+		return fmt.Sprintf("sched: panic in spawned computation: %v (and %d more quarantined)",
+			e.Value, len(e.All)-1)
+	}
 	return fmt.Sprintf("sched: panic in spawned computation: %v", e.Value)
 }
 
@@ -425,11 +494,17 @@ func (w *worker) idle(backoff *time.Duration) bool {
 
 // runTask executes one task to completion: the spawned function's body plus
 // its implicit sync, then deposits the frame's reducer views with the parent
-// and signals the join counter. Panics are captured into the run state and
-// the frame's outstanding children are still drained, so a failed
-// computation never leaves orphan tasks running after Run returns.
+// and signals the join counter. Panics are quarantined into the run state
+// (cancelling the rest of the run) and the frame's outstanding children are
+// still drained, so a failed computation never leaves orphan tasks running
+// after Run returns. Tasks of a cancelled run are skipped, not executed —
+// the steal/pickup boundary is a cancel check site.
 func (w *worker) runTask(t *task) {
 	rs := t.frame.run
+	if rs.cancelled() {
+		w.skipTask(t)
+		return
+	}
 	if t.frame.parent != nil {
 		w.ws.tasksRun.Add(1)
 	}
@@ -448,7 +523,8 @@ func (w *worker) runTask(t *task) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.frame.run.poison(r)
+				rs.poison(r)
+				w.rec.Panic(t.frame.depth, rs.id)
 				ctx.syncWait() // drain children even on panic
 			}
 		}()
@@ -464,11 +540,31 @@ func (w *worker) runTask(t *task) {
 		p.pending.Add(-1)
 	} else {
 		finalizeViews(ctx.views)
-		f.run.finish(w.rt)
+		f.run.finish()
 	}
 	w.ws.liveFrames.Add(-1)
 	if s := rs.stats; s != nil {
 		s.liveFrames.Add(-1)
 	}
 	w.rec.TaskEnd()
+}
+
+// skipTask abandons a task of a cancelled run without executing its body.
+// The frame still joins: its parent's pending counter is decremented (or,
+// for a root, the run is finished), so syncs observe the same join
+// structure as a completed run — the task merely contributed no work and
+// deposited no views. This is what bounds cancellation latency: every
+// outstanding task drains in O(1).
+func (w *worker) skipTask(t *task) {
+	rs := t.frame.run
+	w.ws.tasksSkipped.Add(1)
+	if s := rs.stats; s != nil {
+		s.tasksSkipped.Add(1)
+	}
+	w.rec.TaskSkip(t.frame.depth, rs.id)
+	if p := t.frame.parent; p != nil {
+		p.pending.Add(-1)
+	} else {
+		rs.finish()
+	}
 }

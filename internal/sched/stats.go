@@ -13,6 +13,7 @@ type workerStats struct {
 	steals        atomic.Int64
 	stealAttempts atomic.Int64
 	tasksRun      atomic.Int64
+	tasksSkipped  atomic.Int64
 	liveFrames    atomic.Int64
 	maxLiveFrames atomic.Int64
 	maxDepth      atomic.Int64
@@ -42,8 +43,14 @@ type Stats struct {
 	Steals        int64
 	StealAttempts int64
 	// TasksRun is the number of spawned tasks executed (excluding Run
-	// roots). It equals Spawns once all submitted computations finish.
+	// roots). It equals Spawns once all submitted computations finish,
+	// provided none were cancelled (see TasksSkipped).
 	TasksRun int64
+	// TasksSkipped is the number of tasks abandoned without executing
+	// because their run was cancelled (by context, deadline, a sibling
+	// panic, or ShutdownDrain). Spawns = TasksRun + TasksSkipped at
+	// quiescence.
+	TasksSkipped int64
 	// MaxLiveFrames is the maximum, over workers, of simultaneously live
 	// frames on one worker — the runtime's analogue of per-worker stack
 	// depth in the §3.1 space discussion.
@@ -62,6 +69,7 @@ func (rt *Runtime) Stats() Stats {
 		s.Steals += w.ws.steals.Load()
 		s.StealAttempts += w.ws.stealAttempts.Load()
 		s.TasksRun += w.ws.tasksRun.Load()
+		s.TasksSkipped += w.ws.tasksSkipped.Load()
 		if m := w.ws.maxLiveFrames.Load(); m > s.MaxLiveFrames {
 			s.MaxLiveFrames = m
 		}
@@ -81,6 +89,7 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.Steals -= prev.Steals
 	s.StealAttempts -= prev.StealAttempts
 	s.TasksRun -= prev.TasksRun
+	s.TasksSkipped -= prev.TasksSkipped
 	return s
 }
 
@@ -97,9 +106,14 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		"steals":          s.Steals,
 		"steal_attempts":  s.StealAttempts,
 		"tasks_run":       s.TasksRun,
+		"tasks_skipped":   s.TasksSkipped,
 		"max_live_frames": s.MaxLiveFrames,
 		"max_depth":       s.MaxDepth,
 		"runs_submitted":  rt.runIDs.Load(),
+		// Robustness-layer counters: runs abandoned by cancellation (any
+		// cause) and panics quarantined across all runs.
+		"runs_canceled":      rt.runsCanceled.Load(),
+		"panics_quarantined": rt.panicsQuarantined.Load(),
 	}
 	for i, w := range rt.workers {
 		p := fmt.Sprintf("worker.%d.", i)

@@ -109,6 +109,14 @@ func WriteChrome(w io.Writer, t *Trace) error {
 					Scope: "t", Args: map[string]any{"victim": ev.Arg}})
 			case KindInjectPickup:
 				err = emit(chromeEvent{Name: "inject-pickup", Phase: "i", TS: us, PID: 1, TID: wid, Scope: "t"})
+			case KindTaskSkip:
+				err = emit(chromeEvent{Name: "task-skip", Phase: "i", TS: us, PID: 1, TID: wid,
+					Scope: "t", Args: map[string]any{"depth": ev.Arg, "run": ev.Run}})
+			case KindPanic:
+				// Process-scoped so the quarantine is visible at a glance
+				// across every track.
+				err = emit(chromeEvent{Name: "panic", Phase: "i", TS: us, PID: 1, TID: wid,
+					Scope: "p", Args: map[string]any{"depth": ev.Arg, "run": ev.Run}})
 			case KindIdleEnter:
 				idleDepth++
 				err = emit(chromeEvent{Name: "idle", Phase: "B", TS: us, PID: 1, TID: wid})

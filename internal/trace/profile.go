@@ -15,6 +15,8 @@ type WorkerProfile struct {
 	Steals        int64 // successful steals by this worker
 	StealAttempts int64
 	InjectPickups int64
+	TaskSkips     int64 // tasks abandoned because their run was cancelled
+	Panics        int64 // panics quarantined inside this worker's tasks
 	// Time split. Busy is time with at least one task open; Hunt is time
 	// inside idle slices but not parked (actively probing victims); Parked
 	// is time blocked on the runtime condition variable. The remainder of
@@ -291,6 +293,11 @@ func BuildProfile(t *Trace, buckets int) *Profile {
 			case KindInjectPickup:
 				wp.InjectPickups++
 				huntStart = -1
+			case KindTaskSkip:
+				wp.TaskSkips++
+				huntStart = -1
+			case KindPanic:
+				wp.Panics++
 			case KindIdleEnter:
 				idleStart = when
 			case KindIdleExit:
@@ -444,12 +451,18 @@ func (p *Profile) Render() string {
 		tot.Steals += w.Steals
 		tot.StealAttempts += w.StealAttempts
 		tot.InjectPickups += w.InjectPickups
+		tot.TaskSkips += w.TaskSkips
+		tot.Panics += w.Panics
 	}
 	n := len(p.Workers)
 	if n > 0 {
 		fmt.Fprintf(&sb, "%6s  %6.1f %6.1f %6.1f  %9d %9d %8d %9d %7d\n",
 			"all", pct(tot.Busy)/float64(n), pct(tot.Hunt)/float64(n), pct(tot.Parked)/float64(n),
 			tot.Tasks, tot.Spawns, tot.Steals, tot.StealAttempts, tot.InjectPickups)
+	}
+	if tot.TaskSkips > 0 || tot.Panics > 0 {
+		fmt.Fprintf(&sb, "\nabandoned work: %d tasks skipped after cancellation, %d panics quarantined\n",
+			tot.TaskSkips, tot.Panics)
 	}
 
 	fmt.Fprintf(&sb, "\nutilization over time (%d buckets of %v, mean %.1f%%, observed parallelism %.2f):\n",

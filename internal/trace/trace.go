@@ -63,6 +63,13 @@ const (
 	KindPark
 	// KindUnpark marks the worker waking from a park.
 	KindUnpark
+	// KindTaskSkip marks a task abandoned without executing because its
+	// run was cancelled — the trace of work a cancellation avoided. Arg is
+	// the frame's spawn depth; Run is the cancelled Run invocation's id.
+	KindTaskSkip
+	// KindPanic marks a panic quarantined inside a task on this worker.
+	// Arg is the frame's spawn depth; Run is the poisoned Run's id.
+	KindPanic
 
 	numKinds
 )
@@ -70,6 +77,7 @@ const (
 var kindNames = [numKinds]string{
 	"task-start", "task-end", "spawn", "steal-attempt", "steal-success",
 	"inject-pickup", "idle-enter", "idle-exit", "park", "unpark",
+	"task-skip", "panic",
 }
 
 func (k Kind) String() string {
@@ -268,6 +276,13 @@ func (r *Recorder) IdleEnter() { r.record(KindIdleEnter, 0, 0) }
 
 // IdleExit records the end of a work hunt.
 func (r *Recorder) IdleExit() { r.record(KindIdleExit, 0, 0) }
+
+// TaskSkip records abandoning a task of a cancelled run without executing
+// it, at the given spawn depth.
+func (r *Recorder) TaskSkip(depth int32, run int64) { r.record(KindTaskSkip, depth, run) }
+
+// Panic records a panic quarantined inside a task at the given spawn depth.
+func (r *Recorder) Panic(depth int32, run int64) { r.record(KindPanic, depth, run) }
 
 // Park records blocking on the runtime's condition variable.
 func (r *Recorder) Park() { r.record(KindPark, 0, 0) }
