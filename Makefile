@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel clean
+.PHONY: all build vet test race bench bench-cancel bench-steal stress-deque clean
 
 all: build vet test
 
@@ -33,5 +33,20 @@ bench-cancel:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_cancel.json
 
+# Steal-path gate: run the S-series benchmarks (steal-heavy fib, wide
+# cilk_for, spawn/sync ping-pong) plus the uncancelled C-series runs as the
+# no-regression guard, diffed against the committed seed measurement — the
+# resulting BENCH_steal.json carries attempts-per-task and batches-per-steal
+# metrics alongside overhead_pct vs. seed for the guarded benchmarks.
+bench-steal:
+	$(GO) test -run '^$$' -bench 'BenchmarkSteal|BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -count=3 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_steal.json
+
+# Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
+# steal-path tests, repeated under the race detector (mirrors the CI job).
+stress-deque:
+	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase' ./internal/deque/ ./internal/sched/
+
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json trace.json

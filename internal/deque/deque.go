@@ -2,24 +2,41 @@
 //
 // The deque is the central data structure of the Cilk++ runtime (§3.2 of the
 // paper): each worker owns one deque and treats it as a stack, pushing and
-// popping spawned work at the bottom, while thieves steal single items from
-// the top. The owner's fast path is a pair of unsynchronized-looking atomic
+// popping spawned work at the bottom, while thieves steal items from the
+// top. The owner's fast path is a handful of unsynchronized-looking atomic
 // loads and stores; synchronization is paid only when the deque is nearly
 // empty or when a thief interferes, which mirrors the paper's observation
 // that "all communication and synchronization is incurred only when a worker
 // runs out of work".
 //
+// Thieves may take either one item (Steal) or up to half of the visible
+// items in a single CAS on top (StealBatch), the steal-half variant whose
+// bounded steal count and cache behaviour are analysed by Gu, Napier & Sun
+// (see PAPERS.md). Every successful pop, steal, and batch clears the ring
+// slots it vacated, so the ring never retains pointers to completed work
+// against the garbage collector.
+//
 // The implementation follows Chase and Lev, "Dynamic circular work-stealing
 // deque" (SPAA 2005), with the memory-order fixes from Lê et al. (PPoPP
 // 2013), expressed with Go's sequentially-consistent sync/atomic operations.
+// The batch extension preserves Chase–Lev's arbitration structure: a batch
+// still commits with one CAS on top, and a claim announcement (see the claim
+// field) keeps the owner's unarbitrated fast-path pops disjoint from any
+// in-flight claim.
 package deque
 
 import (
+	"runtime"
 	"sync/atomic"
 )
 
 // minCapacity is the initial ring capacity. It must be a power of two.
 const minCapacity = 64
+
+// maxBatch bounds how many items one StealBatch may claim. A fixed bound
+// keeps the pre-CAS snapshot in a stack array (no allocation on the steal
+// path) and bounds how long a batch claim can make the owner's pop back off.
+const maxBatch = 32
 
 // ring is an immutable-capacity circular buffer. Grown copies share no
 // storage with their predecessor, so thieves racing on an old ring still read
@@ -39,6 +56,15 @@ func newRing[T any](capacity int64) *ring[T] {
 func (r *ring[T]) load(i int64) *T     { return r.buf[i&r.mask].Load() }
 func (r *ring[T]) store(i int64, v *T) { r.buf[i&r.mask].Store(v) }
 
+// clear nils slot i only if it still holds v. Thieves must clear this way:
+// between a thief's winning CAS on top and its write to the slot, the owner
+// may wrap bottom around the ring and push a new item into the same slot, so
+// an unconditional store could destroy live work. The conditional store
+// cannot be fooled by pointer reuse, because the thief still holds v
+// unexecuted — v cannot be recycled and re-pushed until the thief releases
+// it, which happens only after the clear.
+func (r *ring[T]) clear(i int64, v *T) { r.buf[i&r.mask].CompareAndSwap(v, nil) }
+
 func (r *ring[T]) grow(bottom, top int64) *ring[T] {
 	next := newRing[T]((r.mask + 1) * 2)
 	for i := top; i < bottom; i++ {
@@ -50,12 +76,24 @@ func (r *ring[T]) grow(bottom, top int64) *ring[T] {
 // Deque is a dynamically-sized work-stealing deque of *T.
 //
 // Exactly one goroutine, the owner, may call PushBottom and PopBottom.
-// Any goroutine may call Steal. The zero value is not usable; construct
-// with New.
+// Any goroutine may call Steal or StealBatch. The zero value is not usable;
+// construct with New.
 type Deque[T any] struct {
 	top    atomic.Int64 // next index to steal
 	bottom atomic.Int64 // next index to push
 	ring   atomic.Pointer[ring[T]]
+
+	// claim announces an in-flight StealBatch: zero when none, else the
+	// exclusive upper bound of the index range the batch may take. Classic
+	// Chase–Lev lets the owner pop unarbitrated whenever top was observed
+	// strictly below bottom, because a thief only ever takes the single
+	// top index — the one index the owner would race for is arbitrated by
+	// dueling CASes on top. A multi-item claim breaks that reasoning: the
+	// owner could pop an interior index the batch is about to commit. The
+	// claim restores disjointness: a batch publishes its bound before its
+	// CAS on top, and the owner's fast path refuses to pop an index below
+	// any visible claim (see PopBottom for the full argument).
+	claim atomic.Int64
 }
 
 // New returns an empty deque.
@@ -83,23 +121,59 @@ func (d *Deque[T]) PushBottom(v *T) {
 // nil if the deque is empty or the last item was lost to a concurrent thief.
 // Only the owner may call it.
 func (d *Deque[T]) PopBottom() *T {
-	b := d.bottom.Load() - 1
-	r := d.ring.Load()
-	d.bottom.Store(b)
-	t := d.top.Load()
-	switch {
-	case t > b: // empty: restore
-		d.bottom.Store(b + 1)
-		return nil
-	case t == b: // last element: race against thieves via CAS on top
-		v := r.load(b)
-		if !d.top.CompareAndSwap(t, t+1) {
-			v = nil // a thief got it
+	for {
+		b := d.bottom.Load() - 1
+		r := d.ring.Load()
+		d.bottom.Store(b)
+		t := d.top.Load()
+		switch {
+		case t > b: // empty: restore
+			d.bottom.Store(b + 1)
+			return nil
+		case t == b: // last element: race against thieves via CAS on top
+			v := r.load(b)
+			if d.top.CompareAndSwap(t, t+1) {
+				// Won the race: the slot is dead until bottom wraps back
+				// past it, so clear it now — otherwise the ring would pin
+				// the popped item (and everything it references) against
+				// the GC until the slot is overwritten. Losing thieves
+				// only discard the pointer they loaded, so a plain store
+				// is safe.
+				r.store(b, nil)
+			} else {
+				v = nil // a thief got it; the thief clears the slot
+			}
+			d.bottom.Store(b + 1)
+			return v
+		default:
+			// top was observed strictly below b after bottom excluded b, so
+			// no single Steal can claim index b (a thief observing top == b
+			// necessarily observes bottom <= b and rejects). An in-flight
+			// StealBatch could, though: back off while any visible claim
+			// covers b. The batch holds its claim only across a bounded,
+			// loop-free window, so this resolves quickly.
+			if d.claim.Load() > b {
+				d.bottom.Store(b + 1)
+				runtime.Gosched()
+				continue
+			}
+			// Re-validate top after the claim check: a batch could have
+			// claimed past b, committed its CAS, and released the claim all
+			// between our two loads. Seeing top unchanged after seeing no
+			// claim proves no such batch took b — any batch that covered b
+			// either still holds its claim (caught above) or has already
+			// advanced top (caught here).
+			if d.top.Load() != t {
+				d.bottom.Store(b + 1)
+				continue
+			}
+			v := r.load(b)
+			// Clear before returning: bottom already excludes b and no
+			// thief can take it (argument above), so the store cannot
+			// destroy anyone's item.
+			r.store(b, nil)
+			return v
 		}
-		d.bottom.Store(b + 1)
-		return v
-	default:
-		return r.load(b)
 	}
 }
 
@@ -116,7 +190,77 @@ func (d *Deque[T]) Steal() *T {
 	if !d.top.CompareAndSwap(t, t+1) {
 		return nil // lost the race; caller may retry elsewhere
 	}
+	r.clear(t, v)
 	return v
+}
+
+// StealBatch steals up to half of the victim's visible items — at least one,
+// at most maxBatch — committing the whole batch with a single CAS on top,
+// and returns the oldest claimed item (the one Steal would have returned).
+// The remaining claimed items are pushed onto dst, the thief's own deque,
+// oldest first, so dst continues the victim's top-to-bottom order: the
+// caller's next PopBottom sees the newest claimed item first and other
+// thieves see the oldest, the same discipline a single deque provides.
+// moved reports how many items went to dst.
+//
+// The caller must own dst, and dst must not be d. Returns (nil, 0) when the
+// deque looked empty, another batch was in flight, or the CAS lost a race;
+// the caller may fall back to Steal.
+func (d *Deque[T]) StealBatch(dst *Deque[T]) (first *T, moved int) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	n := b - t
+	if n <= 0 {
+		return nil, 0
+	}
+	take := (n + 1) / 2 // half, rounded up, so a lone item is still taken
+	if take > maxBatch {
+		take = maxBatch
+	}
+	// Announce the claim before touching anything else. Only one batch may
+	// be in flight per deque; contending batch thieves fall back to Steal.
+	if !d.claim.CompareAndSwap(0, t+take) {
+		return nil, 0
+	}
+	// Re-read bottom after publishing the claim. Any owner pop that did not
+	// see the claim published its lowered bottom before our claim landed
+	// (both sides use sequentially consistent operations), so bounding take
+	// by this fresh value keeps the claimed range strictly below every
+	// unarbitrated pop: a pop at index i admits take ≤ (i-t+1)/2, whose
+	// last claimed index t+take-1 < i. Pops that do see the claim back off
+	// until we resolve.
+	b = d.bottom.Load()
+	n = b - t
+	if n <= 0 {
+		d.claim.Store(0)
+		return nil, 0
+	}
+	if half := (n + 1) / 2; half < take {
+		take = half
+	}
+	// Snapshot the claimed values before the CAS (Lê et al.: once top has
+	// advanced, the owner may overwrite these slots at any time), then
+	// commit the whole range atomically.
+	r := d.ring.Load()
+	var vals [maxBatch]*T
+	for i := int64(0); i < take; i++ {
+		vals[i] = r.load(t + i)
+	}
+	if !d.top.CompareAndSwap(t, t+take) {
+		d.claim.Store(0)
+		return nil, 0 // lost to the owner or another thief; snapshot discarded
+	}
+	// Clear the vacated slots before releasing the claim or publishing any
+	// item to dst: nothing may recycle a claimed task until its old slot no
+	// longer aliases it.
+	for i := int64(0); i < take; i++ {
+		r.clear(t+i, vals[i])
+	}
+	d.claim.Store(0)
+	for i := int64(1); i < take; i++ {
+		dst.PushBottom(vals[i])
+	}
+	return vals[0], int(take - 1)
 }
 
 // Size reports an instantaneous estimate of the number of items. It is exact

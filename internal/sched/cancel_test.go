@@ -264,7 +264,7 @@ func TestShutdownRacingRuns(t *testing.T) {
 	for i, err := range errs {
 		switch {
 		case err == nil:
-			if outs[i] != fibSerial(10 + i%5) {
+			if outs[i] != fibSerial(10+i%5) {
 				t.Fatalf("run %d completed with wrong result %d", i, outs[i])
 			}
 		case errors.Is(err, ErrShutdown):

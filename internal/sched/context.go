@@ -60,13 +60,16 @@ func (c *Context) Spawn(fn func(*Context)) {
 		c.views = nil
 	}
 	f.pending.Add(1)
-	child := &frame{parent: f, run: f.run, ordinal: ord, depth: f.depth + 1}
+	child := newFrame(f, f.run, ord, f.depth+1)
 	c.w.ws.spawns.Add(1)
 	if s := f.run.stats; s != nil {
 		s.spawns.Add(1)
 	}
 	c.w.rec.Spawn()
-	c.w.deque.PushBottom(&task{fn: fn, frame: child})
+	c.w.deque.PushBottom(newTask(fn, child))
+	// The push made work stealable; if any worker sits in the park phase of
+	// its hunt, wake it (one atomic load when nobody is parked).
+	c.rt.wake()
 }
 
 // spawnSerial executes the child immediately as an ordinary call, firing
@@ -80,7 +83,7 @@ func (c *Context) spawnSerial(fn func(*Context)) {
 	if h != nil {
 		h.Spawn()
 	}
-	child := &frame{parent: c.frame, run: c.frame.run, depth: c.frame.depth + 1}
+	child := newFrame(c.frame, c.frame.run, 0, c.frame.depth+1)
 	if s := c.frame.run.stats; s != nil {
 		// The serial elision's live frames are its call depth.
 		s.spawns.Add(1)
@@ -98,6 +101,7 @@ func (c *Context) spawnSerial(fn func(*Context)) {
 	if h != nil {
 		h.FrameEnd()
 	}
+	freeFrame(child) // not freed on a panic path: the pool tolerates leaks
 }
 
 // Call executes fn synchronously in a fresh frame, like an ordinary (not
@@ -110,7 +114,7 @@ func (c *Context) Call(fn func(*Context)) {
 	if h != nil {
 		h.CallStart()
 	}
-	child := &frame{parent: c.frame, run: c.frame.run, depth: c.frame.depth + 1}
+	child := newFrame(c.frame, c.frame.run, 0, c.frame.depth+1)
 	cc := &Context{w: c.w, rt: c.rt, frame: child, views: c.views}
 	fn(cc)
 	cc.Sync() // implicit sync of the called frame
@@ -118,6 +122,7 @@ func (c *Context) Call(fn func(*Context)) {
 	if h != nil {
 		h.CallEnd()
 	}
+	freeFrame(child) // not freed on a panic path: the pool tolerates leaks
 }
 
 // Sync waits until every child spawned by this function has completed — a

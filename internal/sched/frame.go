@@ -223,12 +223,60 @@ func (rs *runState) poison(v any) {
 	rs.cancelWith(errSiblingPanic)
 }
 
-// finish marks the run complete and releases the Run caller.
+// finish marks the run complete and releases the Run caller. When the last
+// active run drains it broadcasts, so workers that parked mid-run (the hunt's
+// third phase) re-check the exit condition — without this, a Shutdown issued
+// while the run was still active would wait forever on workers that parked
+// after its broadcast.
 func (rs *runState) finish() {
 	rt := rs.rt
 	rt.mu.Lock()
 	rt.activeRoots--
 	delete(rt.active, rs)
+	if rt.activeRoots == 0 {
+		rt.cond.Broadcast()
+	}
 	rt.mu.Unlock()
 	close(rs.done)
+}
+
+// taskPool and framePool recycle the two objects allocated per spawn. The
+// scheduler churns through one task and one frame per Spawn; recycling them
+// is safe because every path that retires a task or frame owns it exclusively
+// by then — ring slots are cleared on pop/steal/batch and losing thieves only
+// discard their stale pointers, so no one can observe a recycled object
+// through the deque.
+var (
+	taskPool  = sync.Pool{New: func() any { return new(task) }}
+	framePool = sync.Pool{New: func() any { return new(frame) }}
+)
+
+func newTask(fn func(*Context), f *frame) *task {
+	t := taskPool.Get().(*task)
+	t.fn, t.frame = fn, f
+	return t
+}
+
+func freeTask(t *task) {
+	t.fn, t.frame = nil, nil
+	taskPool.Put(t)
+}
+
+func newFrame(parent *frame, rs *runState, ordinal, depth int32) *frame {
+	f := framePool.Get().(*frame)
+	f.parent, f.run = parent, rs
+	f.ordinal, f.depth = ordinal, depth
+	return f
+}
+
+// freeFrame resets every field a previous life could have set before
+// returning the frame to the pool. pending is zero at retirement (the frame
+// joined), but a skipped frame may carry stale bookkeeping, so reset
+// explicitly.
+func freeFrame(f *frame) {
+	f.parent, f.run = nil, nil
+	f.pending.Store(0)
+	f.ordinal, f.nextOrdinal, f.depth = 0, 0, 0
+	f.sealed, f.childViews = nil, nil
+	framePool.Put(f)
 }

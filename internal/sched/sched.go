@@ -140,6 +140,12 @@ type Runtime struct {
 	runsCanceled      atomic.Int64
 	panicsQuarantined atomic.Int64
 
+	// parked counts workers blocked on cond in the park phase of their
+	// hunt. Producers (Spawn pushes, batch-steal extras) read it to decide
+	// whether a wakeup is needed; with no one parked, publishing work costs
+	// one atomic load here and nothing else.
+	parked atomic.Int32
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	inject      []*task // root tasks awaiting pickup
@@ -183,10 +189,11 @@ func New(opts ...Option) *Runtime {
 	rt.workers = make([]*worker, cfg.workers)
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
-			rt:    rt,
-			id:    i,
-			deque: deque.New[task](),
-			rng:   rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
+			rt:         rt,
+			id:         i,
+			deque:      deque.New[task](),
+			rng:        rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
+			lastVictim: -1,
 		}
 		if rt.tracer != nil {
 			rt.workers[i].rec = rt.tracer.Recorder(i)
@@ -250,12 +257,14 @@ func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stat
 		err := rt.runSerial(fn, rs)
 		return rs.snapshot(), err
 	}
-	root := &frame{run: rs}
-	t := &task{fn: fn, frame: root}
+	root := newFrame(nil, rs, 0, 0)
+	t := newTask(fn, root)
 
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
+		freeTask(t)
+		freeFrame(root)
 		return Stats{}, ErrShutdown
 	}
 	rt.activeRoots++
@@ -370,39 +379,71 @@ type worker struct {
 	// finding the next task, bracketing the trace's idle slices. Only the
 	// worker's own goroutine touches it.
 	hunting bool
+	// lastVictim is the id of the worker the last successful steal came
+	// from, or -1. A victim that had surplus work once likely still has
+	// more (Suksompong et al., "On the Efficiency of Localized Work
+	// Stealing"), so the next sweep probes it first. Only the worker's own
+	// goroutine touches it.
+	lastVictim int
 }
 
+// Hunt phases, measured in consecutive failed sweeps. A worker that runs out
+// of work first re-sweeps immediately (work often reappears within a few
+// probes), then yields the processor between sweeps, and finally parks on the
+// runtime condition variable until a producer wakes it. Parking replaces the
+// old exponential sleep backoff: a parked worker is woken by a Signal and
+// starts its next sweep immediately, where the sleep-based hunt delayed the
+// first post-wakeup sweep by up to the accumulated backoff.
+const (
+	spinSweeps  = 4
+	yieldSweeps = 32
+)
+
 // loop is the worker's top-level scheduling loop: drain own deque, take
-// injected roots, steal; park when the runtime is idle.
+// injected roots, steal; escalate spin → yield → park when work is scarce.
 func (w *worker) loop() {
 	defer w.rt.wg.Done()
 	if w.rt.cfg.lockThreads {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	backoff := minBackoff
+	fails := 0
 	for {
 		if t := w.findTask(); t != nil {
 			if w.hunting {
 				w.hunting = false
 				w.rec.IdleExit()
 			}
+			fails = 0
 			w.runTask(t)
-			backoff = minBackoff
 			continue
 		}
 		if !w.hunting {
 			w.hunting = true
 			w.rec.IdleEnter()
 		}
-		if !w.idle(&backoff) {
-			return
+		fails++
+		switch {
+		case fails <= spinSweeps:
+			// Spin: sweep again immediately.
+		case fails <= yieldSweeps:
+			if fails == spinSweeps+1 {
+				w.rec.HuntYield()
+			}
+			runtime.Gosched()
+		default:
+			if !w.park() {
+				return
+			}
+			// Unparked for (likely) new work: sweep immediately, with the
+			// failure count reset — no sleep between wakeup and first probe.
+			fails = 0
 		}
 	}
 }
 
 // findTask returns the next task: own deque first (bottom, LIFO), then the
-// injection queue, then one random steal sweep over the other workers.
+// injection queue, then one steal sweep over the other workers.
 func (w *worker) findTask() *task {
 	if t := w.deque.PopBottom(); t != nil {
 		return t
@@ -431,31 +472,67 @@ func (w *worker) takeInjected() *task {
 	return t
 }
 
-// stealOnce performs one sweep over the other workers in random order,
-// returning the first successfully stolen task, or nil.
+// stealOnce performs one sweep over the other workers, returning the first
+// successfully stolen task, or nil. The sweep is adaptive: the last victim a
+// steal succeeded against is probed first, falling back to a random sweep
+// over the rest. A sweep that fails outright forgets the remembered victim
+// and counts toward the worker's hunt escalation.
 func (w *worker) stealOnce() *task {
 	n := len(w.rt.workers)
 	if n <= 1 {
 		return nil
 	}
-	start := w.rng.Intn(n)
-	for i := 0; i < n; i++ {
-		victim := w.rt.workers[(start+i)%n]
-		if victim == w {
-			continue
-		}
-		w.ws.stealAttempts.Add(1)
-		w.rec.StealAttempt(int32(victim.id))
-		if t := victim.deque.Steal(); t != nil {
-			w.ws.steals.Add(1)
-			if s := t.frame.run.stats; s != nil {
-				s.steals.Add(1)
-			}
-			w.rec.StealSuccess(int32(victim.id))
+	last := w.lastVictim
+	if last >= 0 && last != w.id {
+		if t := w.stealFrom(w.rt.workers[last]); t != nil {
 			return t
 		}
 	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		victim := w.rt.workers[(start+i)%n]
+		if victim == w || victim.id == last {
+			continue
+		}
+		if t := w.stealFrom(victim); t != nil {
+			w.lastVictim = victim.id
+			return t
+		}
+	}
+	w.lastVictim = -1
+	w.ws.failedSweeps.Add(1)
 	return nil
+}
+
+// stealFrom probes one victim: a batch steal first — up to half the victim's
+// visible tasks in one CAS, extras landing in this worker's own deque —
+// falling back to a single steal when the batch found the deque empty,
+// another batch in flight, or lost its race. Exactly one StealSuccess is
+// recorded per successful operation, batched or not, so trace event counts
+// and the Steals counter agree.
+func (w *worker) stealFrom(victim *worker) *task {
+	w.ws.stealAttempts.Add(1)
+	w.rec.StealAttempt(int32(victim.id))
+	t, moved := victim.deque.StealBatch(w.deque)
+	if t == nil {
+		if t = victim.deque.Steal(); t == nil {
+			return nil
+		}
+	}
+	w.ws.steals.Add(1)
+	if s := t.frame.run.stats; s != nil {
+		s.steals.Add(1)
+	}
+	w.rec.StealSuccess(int32(victim.id))
+	if moved > 0 {
+		w.ws.stealBatches.Add(1)
+		w.ws.tasksStolenBatched.Add(int64(moved))
+		w.rec.StealBatch(int32(moved))
+		// The extras are stealable work sitting in our deque now; offer a
+		// parked worker the chance to come share it.
+		w.rt.wake()
+	}
+	return t
 }
 
 const (
@@ -463,33 +540,58 @@ const (
 	maxBackoff = 200 * time.Microsecond
 )
 
-// idle handles the no-work case: park on the runtime condition variable when
-// no computation is active, otherwise sleep briefly with exponential backoff
-// before the next steal sweep. It returns false when the runtime is closed.
-func (w *worker) idle(backoff *time.Duration) bool {
+// wake rouses one parked worker. Producers call it after making stealable
+// work visible outside the injection queue (a Spawn push, batch-steal
+// extras). The fast path is one atomic load; the mutex is taken only when
+// someone is actually parked, and pairs with the parker's under-lock re-check
+// so the signal cannot fall between a parker's last look for work and its
+// wait.
+func (rt *Runtime) wake() {
+	if rt.parked.Load() == 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.cond.Signal()
+	rt.mu.Unlock()
+}
+
+// stealableWork reports whether any worker's deque appeared non-empty. The
+// loads are racy, but a parker calls this under rt.mu and every producer's
+// wake takes rt.mu, so work pushed after a parker's check cannot be missed:
+// the producer's Signal is ordered after the parker's Wait.
+func (rt *Runtime) stealableWork() bool {
+	for _, v := range rt.workers {
+		if !v.deque.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks the worker until work may be available or the runtime shuts
+// down. It returns false when the worker should exit. Unlike the old
+// sleep-backoff idle loop, a worker may park even while computations are
+// active (its hunt escalated through spin and yield first), and on wakeup it
+// returns to the sweep immediately — the wakeup-to-first-probe path contains
+// no sleep.
+func (w *worker) park() bool {
 	rt := w.rt
 	rt.mu.Lock()
-	parked := false
-	for rt.activeRoots == 0 && len(rt.inject) == 0 && !rt.closed {
-		if !parked {
-			parked = true
-			w.rec.Park()
+	for {
+		if rt.closed && rt.activeRoots == 0 && len(rt.inject) == 0 {
+			rt.mu.Unlock()
+			return false
 		}
+		if len(rt.inject) > 0 || rt.stealableWork() {
+			rt.mu.Unlock()
+			return true
+		}
+		rt.parked.Add(1)
+		w.rec.Park()
 		rt.cond.Wait()
-	}
-	if parked {
 		w.rec.Unpark()
+		rt.parked.Add(-1)
 	}
-	closed := rt.closed && rt.activeRoots == 0 && len(rt.inject) == 0
-	rt.mu.Unlock()
-	if closed {
-		return false
-	}
-	time.Sleep(*backoff)
-	if *backoff *= 2; *backoff > maxBackoff {
-		*backoff = maxBackoff
-	}
-	return true
 }
 
 // runTask executes one task to completion: the spawned function's body plus
@@ -500,39 +602,40 @@ func (w *worker) idle(backoff *time.Duration) bool {
 // after Run returns. Tasks of a cancelled run are skipped, not executed —
 // the steal/pickup boundary is a cancel check site.
 func (w *worker) runTask(t *task) {
-	rs := t.frame.run
+	fn, f := t.fn, t.frame
+	freeTask(t)
+	rs := f.run
 	if rs.cancelled() {
-		w.skipTask(t)
+		w.skipFrame(f)
 		return
 	}
-	if t.frame.parent != nil {
+	if f.parent != nil {
 		w.ws.tasksRun.Add(1)
 	}
 	maxStore(&w.ws.maxLiveFrames, w.ws.liveFrames.Add(1))
-	maxStore(&w.ws.maxDepth, int64(t.frame.depth))
+	maxStore(&w.ws.maxDepth, int64(f.depth))
 	if s := rs.stats; s != nil {
-		if t.frame.parent != nil {
+		if f.parent != nil {
 			s.tasksRun.Add(1)
 		}
 		maxStore(&s.maxLiveFrames, s.liveFrames.Add(1))
-		maxStore(&s.maxDepth, int64(t.frame.depth))
+		maxStore(&s.maxDepth, int64(f.depth))
 	}
-	w.rec.TaskStart(t.frame.depth, rs.id)
+	w.rec.TaskStart(f.depth, rs.id)
 
-	ctx := &Context{w: w, rt: w.rt, frame: t.frame}
+	ctx := &Context{w: w, rt: w.rt, frame: f}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				rs.poison(r)
-				w.rec.Panic(t.frame.depth, rs.id)
+				w.rec.Panic(f.depth, rs.id)
 				ctx.syncWait() // drain children even on panic
 			}
 		}()
-		t.fn(ctx)
+		fn(ctx)
 		ctx.Sync() // implicit sync before return (§1)
 	}()
 
-	f := t.frame
 	if p := f.parent; p != nil {
 		if len(ctx.views) > 0 {
 			p.depositChildViews(f.ordinal, ctx.views)
@@ -540,8 +643,14 @@ func (w *worker) runTask(t *task) {
 		p.pending.Add(-1)
 	} else {
 		finalizeViews(ctx.views)
-		f.run.finish()
+		rs.finish()
 	}
+	// The frame is fully joined: its children have deposited and its parent
+	// has been signalled, so nothing references it any more and it can be
+	// recycled. The task was recycled on entry — safe because ring slots no
+	// longer retain stale pointers, so no thief can observe either object
+	// after this point.
+	freeFrame(f)
 	w.ws.liveFrames.Add(-1)
 	if s := rs.stats; s != nil {
 		s.liveFrames.Add(-1)
@@ -549,22 +658,24 @@ func (w *worker) runTask(t *task) {
 	w.rec.TaskEnd()
 }
 
-// skipTask abandons a task of a cancelled run without executing its body.
+// skipFrame abandons a cancelled run's frame without executing its body.
 // The frame still joins: its parent's pending counter is decremented (or,
 // for a root, the run is finished), so syncs observe the same join
 // structure as a completed run — the task merely contributed no work and
 // deposited no views. This is what bounds cancellation latency: every
-// outstanding task drains in O(1).
-func (w *worker) skipTask(t *task) {
-	rs := t.frame.run
+// outstanding task drains in O(1). The frame is recycled on the way out (a
+// skipped frame never ran, so it has no children of its own).
+func (w *worker) skipFrame(f *frame) {
+	rs := f.run
 	w.ws.tasksSkipped.Add(1)
 	if s := rs.stats; s != nil {
 		s.tasksSkipped.Add(1)
 	}
-	w.rec.TaskSkip(t.frame.depth, rs.id)
-	if p := t.frame.parent; p != nil {
+	w.rec.TaskSkip(f.depth, rs.id)
+	if p := f.parent; p != nil {
 		p.pending.Add(-1)
 	} else {
 		rs.finish()
 	}
+	freeFrame(f)
 }

@@ -9,14 +9,17 @@ import (
 // worker goroutine; atomic access lets Stats read consistent snapshots while
 // workers are still probing for work.
 type workerStats struct {
-	spawns        atomic.Int64
-	steals        atomic.Int64
-	stealAttempts atomic.Int64
-	tasksRun      atomic.Int64
-	tasksSkipped  atomic.Int64
-	liveFrames    atomic.Int64
-	maxLiveFrames atomic.Int64
-	maxDepth      atomic.Int64
+	spawns             atomic.Int64
+	steals             atomic.Int64
+	stealAttempts      atomic.Int64
+	stealBatches       atomic.Int64
+	tasksStolenBatched atomic.Int64
+	failedSweeps       atomic.Int64
+	tasksRun           atomic.Int64
+	tasksSkipped       atomic.Int64
+	liveFrames         atomic.Int64
+	maxLiveFrames      atomic.Int64
+	maxDepth           atomic.Int64
 }
 
 // maxStore raises the max-gauge m to v. The CAS loop makes it correct under
@@ -42,6 +45,21 @@ type Stats struct {
 	// parallelism exceeds the worker count.
 	Steals        int64
 	StealAttempts int64
+	// StealBatches counts successful batch steals — StealBatch operations
+	// that moved at least one extra task into the thief's deque beyond the
+	// task it kept to run. TasksStolenBatched is the total number of those
+	// extra tasks. Steals counts every successful steal operation, batched
+	// or not, so TasksStolenBatched/StealBatches is the mean surplus per
+	// batch and Steals+TasksStolenBatched is the total number of tasks that
+	// migrated between workers. Both are zero in RunWithStats results:
+	// batching is a property of the worker's hunt, not of one computation.
+	StealBatches       int64
+	TasksStolenBatched int64
+	// FailedSweeps counts steal sweeps that probed every other worker and
+	// found nothing — the consecutive-failure signal that escalates a
+	// worker's hunt from spinning through yielding to parking. Also zero in
+	// RunWithStats results, like StealAttempts.
+	FailedSweeps int64
 	// TasksRun is the number of spawned tasks executed (excluding Run
 	// roots). It equals Spawns once all submitted computations finish,
 	// provided none were cancelled (see TasksSkipped).
@@ -68,6 +86,9 @@ func (rt *Runtime) Stats() Stats {
 		s.Spawns += w.ws.spawns.Load()
 		s.Steals += w.ws.steals.Load()
 		s.StealAttempts += w.ws.stealAttempts.Load()
+		s.StealBatches += w.ws.stealBatches.Load()
+		s.TasksStolenBatched += w.ws.tasksStolenBatched.Load()
+		s.FailedSweeps += w.ws.failedSweeps.Load()
 		s.TasksRun += w.ws.tasksRun.Load()
 		s.TasksSkipped += w.ws.tasksSkipped.Load()
 		if m := w.ws.maxLiveFrames.Load(); m > s.MaxLiveFrames {
@@ -88,6 +109,9 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.Spawns -= prev.Spawns
 	s.Steals -= prev.Steals
 	s.StealAttempts -= prev.StealAttempts
+	s.StealBatches -= prev.StealBatches
+	s.TasksStolenBatched -= prev.TasksStolenBatched
+	s.FailedSweeps -= prev.FailedSweeps
 	s.TasksRun -= prev.TasksRun
 	s.TasksSkipped -= prev.TasksSkipped
 	return s
@@ -101,15 +125,18 @@ func (s Stats) Sub(prev Stats) Stats {
 func (rt *Runtime) Metrics() map[string]int64 {
 	s := rt.Stats()
 	m := map[string]int64{
-		"workers":         int64(rt.cfg.workers),
-		"spawns":          s.Spawns,
-		"steals":          s.Steals,
-		"steal_attempts":  s.StealAttempts,
-		"tasks_run":       s.TasksRun,
-		"tasks_skipped":   s.TasksSkipped,
-		"max_live_frames": s.MaxLiveFrames,
-		"max_depth":       s.MaxDepth,
-		"runs_submitted":  rt.runIDs.Load(),
+		"workers":              int64(rt.cfg.workers),
+		"spawns":               s.Spawns,
+		"steals":               s.Steals,
+		"steal_attempts":       s.StealAttempts,
+		"steal_batches":        s.StealBatches,
+		"tasks_stolen_batched": s.TasksStolenBatched,
+		"failed_sweeps":        s.FailedSweeps,
+		"tasks_run":            s.TasksRun,
+		"tasks_skipped":        s.TasksSkipped,
+		"max_live_frames":      s.MaxLiveFrames,
+		"max_depth":            s.MaxDepth,
+		"runs_submitted":       rt.runIDs.Load(),
 		// Robustness-layer counters: runs abandoned by cancellation (any
 		// cause) and panics quarantined across all runs.
 		"runs_canceled":      rt.runsCanceled.Load(),
@@ -120,6 +147,8 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		m[p+"spawns"] = w.ws.spawns.Load()
 		m[p+"steals"] = w.ws.steals.Load()
 		m[p+"steal_attempts"] = w.ws.stealAttempts.Load()
+		m[p+"steal_batches"] = w.ws.stealBatches.Load()
+		m[p+"failed_sweeps"] = w.ws.failedSweeps.Load()
 		m[p+"tasks_run"] = w.ws.tasksRun.Load()
 		m[p+"max_live_frames"] = w.ws.maxLiveFrames.Load()
 	}

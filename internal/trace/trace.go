@@ -70,6 +70,15 @@ const (
 	// KindPanic marks a panic quarantined inside a task on this worker.
 	// Arg is the frame's spawn depth; Run is the poisoned Run's id.
 	KindPanic
+	// KindStealBatch marks a batch steal, recorded immediately after the
+	// KindStealSuccess event for the same operation (which carries the
+	// victim's id). Arg is the number of extra tasks the batch moved into
+	// this worker's deque beyond the one it kept to run.
+	KindStealBatch
+	// KindHuntYield marks a hunt escalating from its spin phase to its
+	// yield phase after repeated failed sweeps; the final escalation to the
+	// park phase is marked by KindPark/KindUnpark as before.
+	KindHuntYield
 
 	numKinds
 )
@@ -77,7 +86,7 @@ const (
 var kindNames = [numKinds]string{
 	"task-start", "task-end", "spawn", "steal-attempt", "steal-success",
 	"inject-pickup", "idle-enter", "idle-exit", "park", "unpark",
-	"task-skip", "panic",
+	"task-skip", "panic", "steal-batch", "hunt-yield",
 }
 
 func (k Kind) String() string {
@@ -267,6 +276,14 @@ func (r *Recorder) StealAttempt(victim int32) { r.record(KindStealAttempt, victi
 
 // StealSuccess records a successful steal from victim.
 func (r *Recorder) StealSuccess(victim int32) { r.record(KindStealSuccess, victim, 0) }
+
+// StealBatch records that the steal recorded immediately before was a batch
+// that moved the given number of extra tasks into this worker's deque.
+func (r *Recorder) StealBatch(moved int32) { r.record(KindStealBatch, moved, 0) }
+
+// HuntYield records a hunt escalating from spinning to yielding between
+// sweeps.
+func (r *Recorder) HuntYield() { r.record(KindHuntYield, 0, 0) }
 
 // InjectPickup records taking a root task from the injection queue.
 func (r *Recorder) InjectPickup() { r.record(KindInjectPickup, 0, 0) }
