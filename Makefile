@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal stress-deque clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor stress-deque clean
 
 all: build vet test
 
@@ -43,10 +43,23 @@ bench-steal:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_steal.json
 
+# Loop-splitting gate: run the L-series benchmarks (wide light loop, daxpy,
+# nested 2D, pooled reduce — each reporting splits/chunks/range-steals per op)
+# plus the uncancelled fib/matmul C-series runs as the ±2% no-regression
+# guard, diffed against the committed seed measurement into BENCH_pfor.json.
+# count=5 (vs 3 elsewhere): the guard compares minima across samples, and
+# the fib run is noisy enough on shared runners that 3 samples routinely
+# miss the floor.
+bench-pfor:
+	$(GO) test -run '^$$' -bench 'BenchmarkLoop|BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -count=5 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_pfor.json
+
 # Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
-# steal-path tests, repeated under the race detector (mirrors the CI job).
+# steal-path and lazy-loop exactly-once tests, repeated under the race
+# detector (mirrors the CI job).
 stress-deque:
-	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase' ./internal/deque/ ./internal/sched/
+	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase|RangeExactlyOnce' ./internal/deque/ ./internal/sched/
 
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json trace.json

@@ -17,6 +17,7 @@ package hyper
 
 import (
 	"fmt"
+	"sync"
 
 	"cilkgo/internal/sched"
 )
@@ -114,4 +115,42 @@ func (r *Reducer[T]) Reset() {
 	var zero T
 	r.final = zero
 	r.hasFinal = false
+}
+
+// reducerPools holds one sync.Pool of *Reducer[T] per element type T, keyed
+// by the zero-size poolKey[T] type (distinct per instantiation, boxes
+// without allocating).
+var reducerPools sync.Map
+
+type poolKey[T any] struct{}
+
+func poolFor[T any]() *sync.Pool {
+	k := poolKey[T]{}
+	if p, ok := reducerPools.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := reducerPools.LoadOrStore(k, &sync.Pool{New: func() any { return new(Reducer[T]) }})
+	return p.(*sync.Pool)
+}
+
+// Acquire returns a pooled reducer over the given monoid, for transient
+// reductions that would otherwise allocate a fresh hyperobject per call
+// (pfor.Reduce is the canonical caller). Pair with Release.
+func Acquire[T any](m Monoid[T]) *Reducer[T] {
+	r := poolFor[T]().Get().(*Reducer[T])
+	r.monoid = m
+	return r
+}
+
+// Release returns a reducer obtained from Acquire to the pool. c must be the
+// strand that read the final view: the strand's view-map entry for r is
+// dropped first, because a later Acquire may hand the very same reducer
+// pointer back to the same strand, and a surviving entry would resurrect the
+// retired view (and its value) instead of starting a fresh reduction. The
+// reducer must not be used after Release.
+func Release[T any](c *sched.Context, r *Reducer[T]) {
+	c.DropView(r)
+	var zero T
+	r.monoid, r.final, r.hasFinal = nil, zero, false
+	poolFor[T]().Put(r)
 }

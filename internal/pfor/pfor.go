@@ -8,6 +8,14 @@
 // choice that keeps the spawn overhead an O(1/grain) fraction of the work
 // while leaving parallelism at least ~8P.
 //
+// On the parallel runtime the divide-and-conquer tree is built lazily: a
+// loop is submitted as a single splittable range task that the owning worker
+// peels chunk by chunk, splitting only when a thief actually steals it (see
+// internal/sched/loop.go), so a loop that no thief touches costs ~one deque
+// push/pop per grain instead of Θ(n/grain) spawned tasks. The serial elision
+// still executes the eager recursion literally — its hook stream is the
+// divide-and-conquer dag Cilkview and Cilkscreen analyze.
+//
 // Like cilk_for, a loop here is a complete fork-join nest: For returns only
 // after every iteration has finished (there is an implicit sync), and
 // iterations must not depend on one another.
@@ -68,8 +76,24 @@ func ForGrain(c *sched.Context, lo, hi, grain int, body func(c *sched.Context, i
 	if lo >= hi {
 		return
 	}
+	if c.Runtime().Serial() {
+		// The serial elision executes the divide-and-conquer recursion
+		// literally, in depth-first order — this is the dag the analysis
+		// tools (Cilkview, Cilkscreen) observe through the hooks.
+		c.Call(func(c *sched.Context) {
+			forRec(c, lo, hi, grain, body)
+		})
+		return
+	}
+	// Parallel runtime: one lazily-split range task. The Call gives the loop
+	// a private sync scope, so the implicit sync joins exactly the loop's
+	// iterations and the reducer fold order is the serial loop's.
 	c.Call(func(c *sched.Context) {
-		forRec(c, lo, hi, grain, body)
+		c.LoopRange(lo, hi, grain, func(c *sched.Context, l, h int) {
+			for i := l; i < h; i++ {
+				body(c, i)
+			}
+		})
 	})
 }
 
@@ -125,12 +149,16 @@ func For2D(c *sched.Context, lo1, hi1, lo2, hi2 int, body func(c *sched.Context,
 // the results with the monoid in ascending index order — a map-reduce over
 // the iteration space built on a reducer hyperobject, so no locks and no
 // contention are involved and the fold order matches the serial loop's.
+// The reducer comes from a per-type pool (hyper.Acquire/Release), so a
+// Reduce in steady state does not allocate a fresh hyperobject per call.
 func Reduce[T any](c *sched.Context, lo, hi int, m hyper.Monoid[T], body func(c *sched.Context, i int) T) T {
-	red := hyper.New(m)
+	red := hyper.Acquire(m)
 	For(c, lo, hi, func(c *sched.Context, i int) {
 		v := red.View(c)
 		*v = m.Combine(*v, body(c, i))
 	})
 	// For has synced, so the calling strand's view holds the full fold.
-	return *red.View(c)
+	out := *red.View(c)
+	hyper.Release(c, red)
+	return out
 }

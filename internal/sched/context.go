@@ -17,6 +17,15 @@ type Context struct {
 	// frame and Sync folds the sealed segments back, preserving serial
 	// reduction order under any schedule.
 	views viewMap
+
+	// ckey/cview are a single-entry cache over views: the last key looked up
+	// and its view. Reducer-heavy loops call View once per iteration, so the
+	// hit path must be one pointer compare instead of an O(#views) scan. The
+	// cache is invalidated at every strand-segment boundary — Spawn's seal,
+	// Sync's fold, Call's view handback, DropView — because the view a key
+	// maps to changes exactly there.
+	ckey  any
+	cview View
 }
 
 // Runtime returns the runtime executing this computation.
@@ -58,6 +67,10 @@ func (c *Context) Spawn(fn func(*Context)) {
 	if len(c.views) > 0 {
 		f.sealSegment(ord, c.views)
 		c.views = nil
+		// The continuation is a new strand segment: a view looked up before
+		// the spawn belongs to the sealed segment and must not be served to
+		// the continuation (it would corrupt the serial fold order).
+		c.ckey, c.cview = nil, nil
 	}
 	f.pending.Add(1)
 	child := newFrame(f, f.run, ord, f.depth+1)
@@ -98,6 +111,7 @@ func (c *Context) spawnSerial(fn func(*Context)) {
 	fn(cc)
 	cc.Sync()
 	c.views = cc.views // the child may have (re)allocated the shared map
+	c.ckey, c.cview = nil, nil
 	if h != nil {
 		h.FrameEnd()
 	}
@@ -119,6 +133,7 @@ func (c *Context) Call(fn func(*Context)) {
 	fn(cc)
 	cc.Sync() // implicit sync of the called frame
 	c.views = cc.views
+	c.ckey, c.cview = nil, nil
 	if h != nil {
 		h.CallEnd()
 	}
@@ -139,9 +154,11 @@ func (c *Context) Sync() {
 	}
 	c.syncWait()
 	f := c.frame
-	if f.nextOrdinal > 0 {
+	if f.nextOrdinal > 0 || f.nextLoopSeq > 0 {
 		c.views = f.foldViews(c.views)
 		f.nextOrdinal = 0
+		f.nextLoopSeq = 0
+		c.ckey, c.cview = nil, nil
 	}
 }
 
@@ -173,13 +190,38 @@ func (c *Context) syncWait() {
 }
 
 // LookupView returns the strand's current view for the hyperobject key, or
-// nil. Used by the hyperobject library (internal/hyper).
+// nil. Used by the hyperobject library (internal/hyper). The last key looked
+// up hits a single-entry cache — one interface compare — so per-iteration
+// View calls in reducer loops skip the view-map scan.
 func (c *Context) LookupView(key any) View {
-	return c.views.lookup(key)
+	if key == c.ckey {
+		return c.cview
+	}
+	v := c.views.lookup(key)
+	if v != nil {
+		c.ckey, c.cview = key, v
+	}
+	return v
 }
 
 // InstallView records v as the strand's current view for key. The key must
 // not already have a view in this strand segment (callers look up first).
 func (c *Context) InstallView(key any, v View) {
 	c.views = append(c.views, viewEntry{key: key, v: v})
+	c.ckey, c.cview = key, v
+}
+
+// DropView removes the strand's current view for key, if any. Used by the
+// hyperobject library when a reducer is released to a pool: the next
+// acquisition may hand the same reducer pointer to the same strand, and a
+// surviving view-map entry would resurrect the retired view instead of
+// starting a fresh reduction.
+func (c *Context) DropView(key any) {
+	for i := range c.views {
+		if c.views[i].key == key {
+			c.views = append(c.views[:i], c.views[i+1:]...)
+			break
+		}
+	}
+	c.ckey, c.cview = nil, nil
 }

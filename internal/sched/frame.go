@@ -2,15 +2,27 @@ package sched
 
 import (
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
-// task is one unit of stealable work: a spawned function together with the
-// frame it will execute in.
+// task is one unit of stealable work: either a spawned function together
+// with the frame it will execute in, or — when loop is non-nil — a range
+// task covering the loop iterations [lo, hi) of a lazily-split cilk_for
+// (see loop.go). Range tasks are never pooled: the peel protocol identifies
+// a re-published remainder by pointer, so a range task's address must stay
+// unique for as long as any worker still holds a reference to it.
 type task struct {
 	fn    func(*Context)
 	frame *frame
+
+	// Range-task fields (fn == nil, loop != nil). Only the worker that
+	// exclusively holds the task (its current executor, or a thief that
+	// just took it) may read or mutate lo and hi; the deque's push/steal
+	// synchronization publishes them to the next holder.
+	loop   *loopState
+	lo, hi int
 }
 
 // frame is the activation record of one spawned function (§3.2: "the
@@ -48,6 +60,41 @@ type frame struct {
 	// after the join counter reaches zero.
 	redMu      sync.Mutex
 	childViews []viewMap
+
+	// pieces holds the view deposits of a lazy cilk_for's range pieces
+	// (see loop.go). Unlike spawned children, pieces are created at split
+	// time — when a thief takes part of the iteration space — so their
+	// serial position cannot be a dense spawn ordinal assigned up front.
+	// Each deposit instead carries the loop's sequence number within this
+	// frame and the first iteration index the depositing execution covered;
+	// sorting by (seq, start) at fold time reconstructs the exact serial
+	// order. Guarded by redMu, like childViews.
+	pieces []pieceDeposit
+
+	// nextLoopSeq numbers the lazy loops rooted at this frame in strand
+	// order, so two sequential loops in one sync region cannot interleave
+	// their piece deposits. Only the frame's own strand touches it.
+	nextLoopSeq int32
+}
+
+// pieceDeposit is one range piece's folded views, positioned in serial
+// order by the owning loop's sequence number and the piece's start index.
+type pieceDeposit struct {
+	seq   int32
+	start int
+	views viewMap
+}
+
+// depositPiece records the views accumulated by one execution episode of a
+// range piece, beginning at iteration index start. Called by whichever
+// worker ran the episode, before it signals the loop frame's join counter.
+func (f *frame) depositPiece(seq int32, start int, views viewMap) {
+	if len(views) == 0 {
+		return
+	}
+	f.redMu.Lock()
+	f.pieces = append(f.pieces, pieceDeposit{seq: seq, start: start, views: views})
+	f.redMu.Unlock()
 }
 
 // sealSegment records the strand's current views as the segment preceding
@@ -77,10 +124,19 @@ func storeAt(s []viewMap, k int, v viewMap) []viewMap {
 // current sync region — seg₀ ⊕ child₀ ⊕ seg₁ ⊕ child₁ ⊕ … ⊕ current —
 // and returns the folded map. Must be called only after the join counter
 // has reached zero, so no child is concurrently depositing.
+//
+// When the region ran lazy loops, their stolen pieces fold after current,
+// ordered by (loop sequence, start index). This is exactly serial order for
+// the canonical shape — a loop whose frame is private to it (internal/pfor
+// wraps every loop in a Call) — because the strand's own accumulation covers
+// the loop prefix it executed inline, and every deposited piece covers a
+// strictly later contiguous range.
 func (f *frame) foldViews(current viewMap) viewMap {
 	f.redMu.Lock()
 	children := f.childViews
 	f.childViews = nil
+	pieces := f.pieces
+	f.pieces = nil
 	f.redMu.Unlock()
 	var acc viewMap
 	for k := int32(0); k < f.nextOrdinal; k++ {
@@ -92,6 +148,17 @@ func (f *frame) foldViews(current viewMap) viewMap {
 		}
 	}
 	acc = mergeViews(acc, current)
+	if len(pieces) > 0 {
+		sort.Slice(pieces, func(i, j int) bool {
+			if pieces[i].seq != pieces[j].seq {
+				return pieces[i].seq < pieces[j].seq
+			}
+			return pieces[i].start < pieces[j].start
+		})
+		for i := range pieces {
+			acc = mergeViews(acc, pieces[i].views)
+		}
+	}
 	f.sealed = nil
 	return acc
 }
@@ -190,6 +257,9 @@ type runCounters struct {
 	liveFrames    atomic.Int64
 	maxLiveFrames atomic.Int64
 	maxDepth      atomic.Int64
+	loopSplits    atomic.Int64
+	chunksPeeled  atomic.Int64
+	rangeSteals   atomic.Int64
 }
 
 // snapshot folds the per-run counters into a Stats. StealAttempts is zero:
@@ -206,6 +276,9 @@ func (rs *runState) snapshot() Stats {
 		TasksSkipped:  s.tasksSkipped.Load(),
 		MaxLiveFrames: s.maxLiveFrames.Load(),
 		MaxDepth:      s.maxDepth.Load(),
+		LoopSplits:    s.loopSplits.Load(),
+		ChunksPeeled:  s.chunksPeeled.Load(),
+		RangeSteals:   s.rangeSteals.Load(),
 	}
 }
 
@@ -257,9 +330,27 @@ func newTask(fn func(*Context), f *frame) *task {
 	return t
 }
 
+// freeTask recycles a retired fn task. Range tasks are left to the garbage
+// collector instead: the peel protocol recognizes its re-published remainder
+// by comparing task pointers, so recycling a finished range task into a new
+// fn task could alias a pointer a peeling worker still compares against
+// (the pool would hand the address to a Spawn on the same worker, whose
+// push would then satisfy the peeler's identity check for a task that is no
+// longer its remainder). Range tasks are rare — O(splits), not O(n/grain) —
+// so the allocation is noise.
 func freeTask(t *task) {
+	if t.loop != nil {
+		t.loop = nil
+		return
+	}
 	t.fn, t.frame = nil, nil
 	taskPool.Put(t)
+}
+
+// newRangeTask allocates a fresh (never pooled — see freeTask) range task
+// covering loop iterations [lo, hi).
+func newRangeTask(ls *loopState, lo, hi int) *task {
+	return &task{loop: ls, lo: lo, hi: hi}
 }
 
 func newFrame(parent *frame, rs *runState, ordinal, depth int32) *frame {
@@ -278,5 +369,6 @@ func freeFrame(f *frame) {
 	f.pending.Store(0)
 	f.ordinal, f.nextOrdinal, f.depth = 0, 0, 0
 	f.sealed, f.childViews = nil, nil
+	f.pieces, f.nextLoopSeq = nil, 0
 	framePool.Put(f)
 }

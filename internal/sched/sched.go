@@ -520,7 +520,11 @@ func (w *worker) stealFrom(victim *worker) *task {
 		}
 	}
 	w.ws.steals.Add(1)
-	if s := t.frame.run.stats; s != nil {
+	rf := t.frame
+	if t.loop != nil {
+		rf = t.loop.frame
+	}
+	if s := rf.run.stats; s != nil {
 		s.steals.Add(1)
 	}
 	w.rec.StealSuccess(int32(victim.id))
@@ -531,6 +535,12 @@ func (w *worker) stealFrom(victim *worker) *task {
 		// The extras are stealable work sitting in our deque now; offer a
 		// parked worker the chance to come share it.
 		w.rt.wake()
+	}
+	if t.loop != nil {
+		// A stolen range task splits immediately (see loop.go): the thief
+		// keeps the front half and re-publishes the back half, so further
+		// thieves need not wait for this one's first remainder publish.
+		w.splitRange(t)
 	}
 	return t
 }
@@ -602,6 +612,10 @@ func (w *worker) park() bool {
 // after Run returns. Tasks of a cancelled run are skipped, not executed —
 // the steal/pickup boundary is a cancel check site.
 func (w *worker) runTask(t *task) {
+	if t.loop != nil {
+		w.runPiece(t)
+		return
+	}
 	fn, f := t.fn, t.frame
 	freeTask(t)
 	rs := f.run

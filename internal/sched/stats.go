@@ -20,6 +20,9 @@ type workerStats struct {
 	liveFrames         atomic.Int64
 	maxLiveFrames      atomic.Int64
 	maxDepth           atomic.Int64
+	loopSplits         atomic.Int64
+	chunksPeeled       atomic.Int64
+	rangeSteals        atomic.Int64
 }
 
 // maxStore raises the max-gauge m to v. The CAS loop makes it correct under
@@ -60,9 +63,10 @@ type Stats struct {
 	// worker's hunt from spinning through yielding to parking. Also zero in
 	// RunWithStats results, like StealAttempts.
 	FailedSweeps int64
-	// TasksRun is the number of spawned tasks executed (excluding Run
-	// roots). It equals Spawns once all submitted computations finish,
-	// provided none were cancelled (see TasksSkipped).
+	// TasksRun is the number of spawned tasks and scheduled loop pieces
+	// executed (excluding Run roots). Absent lazy loops it equals Spawns
+	// once all submitted computations finish, provided none were cancelled
+	// (see TasksSkipped).
 	TasksRun int64
 	// TasksSkipped is the number of tasks abandoned without executing
 	// because their run was cancelled (by context, deadline, a sibling
@@ -75,6 +79,16 @@ type Stats struct {
 	MaxLiveFrames int64
 	// MaxDepth is the deepest spawn depth observed.
 	MaxDepth int64
+	// Lazy-loop counters (see internal/sched/loop.go). ChunksPeeled counts
+	// grain-sized chunks executed; it is the loop analogue of iterations/grain
+	// and is schedule-independent. RangeSteals counts steals whose prize was a
+	// range task, and LoopSplits counts the halvings those steals triggered —
+	// together they measure how far the lazy split tree actually unfolded
+	// (1 + LoopSplits range tasks ever existed per loop, vs Θ(n/grain) tasks
+	// under eager splitting).
+	LoopSplits   int64
+	ChunksPeeled int64
+	RangeSteals  int64
 }
 
 // Stats aggregates the per-worker counters. Counters of computations still
@@ -91,6 +105,9 @@ func (rt *Runtime) Stats() Stats {
 		s.FailedSweeps += w.ws.failedSweeps.Load()
 		s.TasksRun += w.ws.tasksRun.Load()
 		s.TasksSkipped += w.ws.tasksSkipped.Load()
+		s.LoopSplits += w.ws.loopSplits.Load()
+		s.ChunksPeeled += w.ws.chunksPeeled.Load()
+		s.RangeSteals += w.ws.rangeSteals.Load()
 		if m := w.ws.maxLiveFrames.Load(); m > s.MaxLiveFrames {
 			s.MaxLiveFrames = m
 		}
@@ -114,6 +131,9 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.FailedSweeps -= prev.FailedSweeps
 	s.TasksRun -= prev.TasksRun
 	s.TasksSkipped -= prev.TasksSkipped
+	s.LoopSplits -= prev.LoopSplits
+	s.ChunksPeeled -= prev.ChunksPeeled
+	s.RangeSteals -= prev.RangeSteals
 	return s
 }
 
@@ -134,6 +154,9 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		"failed_sweeps":        s.FailedSweeps,
 		"tasks_run":            s.TasksRun,
 		"tasks_skipped":        s.TasksSkipped,
+		"loop_splits":          s.LoopSplits,
+		"chunks_peeled":        s.ChunksPeeled,
+		"range_steals":         s.RangeSteals,
 		"max_live_frames":      s.MaxLiveFrames,
 		"max_depth":            s.MaxDepth,
 		"runs_submitted":       rt.runIDs.Load(),

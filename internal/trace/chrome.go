@@ -112,6 +112,12 @@ func WriteChrome(w io.Writer, t *Trace) error {
 					Scope: "t", Args: map[string]any{"moved": ev.Arg}})
 			case KindHuntYield:
 				err = emit(chromeEvent{Name: "hunt-yield", Phase: "i", TS: us, PID: 1, TID: wid, Scope: "t"})
+			case KindLoopSplit:
+				err = emit(chromeEvent{Name: "loop-split", Phase: "i", TS: us, PID: 1, TID: wid,
+					Scope: "t", Args: map[string]any{"iterations": ev.Arg, "run": ev.Run}})
+			case KindChunkRun:
+				err = emit(chromeEvent{Name: "chunk", Phase: "i", TS: us, PID: 1, TID: wid,
+					Scope: "t", Args: map[string]any{"iterations": ev.Arg, "run": ev.Run}})
 			case KindInjectPickup:
 				err = emit(chromeEvent{Name: "inject-pickup", Phase: "i", TS: us, PID: 1, TID: wid, Scope: "t"})
 			case KindTaskSkip:

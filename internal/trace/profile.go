@@ -20,6 +20,8 @@ type WorkerProfile struct {
 	InjectPickups int64
 	TaskSkips     int64 // tasks abandoned because their run was cancelled
 	Panics        int64 // panics quarantined inside this worker's tasks
+	LoopSplits    int64 // stolen lazy-loop ranges halved on this worker
+	LoopChunks    int64 // grain-sized lazy-loop chunks executed
 	// Time split. Busy is time with at least one task open; Hunt is time
 	// inside idle slices but not parked (actively probing victims); Parked
 	// is time blocked on the runtime condition variable. The remainder of
@@ -300,6 +302,10 @@ func BuildProfile(t *Trace, buckets int) *Profile {
 				wp.TasksBatched += int64(ev.Arg)
 			case KindHuntYield:
 				wp.HuntYields++
+			case KindLoopSplit:
+				wp.LoopSplits++
+			case KindChunkRun:
+				wp.LoopChunks++
 			case KindInjectPickup:
 				wp.InjectPickups++
 				huntStart = -1
@@ -465,6 +471,8 @@ func (p *Profile) Render() string {
 		tot.InjectPickups += w.InjectPickups
 		tot.TaskSkips += w.TaskSkips
 		tot.Panics += w.Panics
+		tot.LoopSplits += w.LoopSplits
+		tot.LoopChunks += w.LoopChunks
 	}
 	n := len(p.Workers)
 	if n > 0 {
@@ -475,6 +483,10 @@ func (p *Profile) Render() string {
 	if tot.StealBatches > 0 {
 		fmt.Fprintf(&sb, "\nbatched steals: %d batches moved %d extra tasks (%.1f per batch)\n",
 			tot.StealBatches, tot.TasksBatched, float64(tot.TasksBatched)/float64(tot.StealBatches))
+	}
+	if tot.LoopChunks > 0 {
+		fmt.Fprintf(&sb, "\nlazy loops: %d chunks run, %d steal-driven splits\n",
+			tot.LoopChunks, tot.LoopSplits)
 	}
 	if tot.TaskSkips > 0 || tot.Panics > 0 {
 		fmt.Fprintf(&sb, "\nabandoned work: %d tasks skipped after cancellation, %d panics quarantined\n",

@@ -79,6 +79,15 @@ const (
 	// yield phase after repeated failed sweeps; the final escalation to the
 	// park phase is marked by KindPark/KindUnpark as before.
 	KindHuntYield
+	// KindLoopSplit marks a stolen lazy-loop range task being halved on this
+	// worker (the thief): the back half became a new stealable range task.
+	// Arg is the number of iterations in the half that was pushed; Run is the
+	// owning Run invocation's id.
+	KindLoopSplit
+	// KindChunkRun marks one grain-sized chunk of a lazy loop executing on
+	// this worker. Arg is the chunk's iteration count; Run is the owning Run
+	// invocation's id.
+	KindChunkRun
 
 	numKinds
 )
@@ -87,6 +96,7 @@ var kindNames = [numKinds]string{
 	"task-start", "task-end", "spawn", "steal-attempt", "steal-success",
 	"inject-pickup", "idle-enter", "idle-exit", "park", "unpark",
 	"task-skip", "panic", "steal-batch", "hunt-yield",
+	"loop-split", "chunk-run",
 }
 
 func (k Kind) String() string {
@@ -284,6 +294,13 @@ func (r *Recorder) StealBatch(moved int32) { r.record(KindStealBatch, moved, 0) 
 // HuntYield records a hunt escalating from spinning to yielding between
 // sweeps.
 func (r *Recorder) HuntYield() { r.record(KindHuntYield, 0, 0) }
+
+// LoopSplit records halving a stolen range task; n is the iteration count of
+// the re-published back half.
+func (r *Recorder) LoopSplit(n int32, run int64) { r.record(KindLoopSplit, n, run) }
+
+// ChunkRun records executing one grain-sized chunk of n loop iterations.
+func (r *Recorder) ChunkRun(n int32, run int64) { r.record(KindChunkRun, n, run) }
 
 // InjectPickup records taking a root task from the injection queue.
 func (r *Recorder) InjectPickup() { r.record(KindInjectPickup, 0, 0) }
