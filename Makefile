@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor stress-deque clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san stress-deque fuzz-sched fuzz-sched-long clean
 
 all: build vet test
 
@@ -55,11 +55,35 @@ bench-pfor:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_pfor.json
 
+# Sanitizer-overhead gate: the same uncancelled fib/matmul C-series runs as
+# the other gates (the runtime's sanitizer hooks sit on their hot paths),
+# diffed against the committed seed measurement into BENCH_san.json — proving
+# the disabled sanitizer costs <2% on the spawn/steal/join fast paths.
+bench-san:
+	$(GO) test -run '^$$' -bench 'BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -count=5 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_san.json
+
 # Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
-# steal-path and lazy-loop exactly-once tests, repeated under the race
-# detector (mirrors the CI job).
+# steal-path and lazy-loop exactly-once tests — and the fault-injected Gate/San
+# suites (forced claim/CAS failures, stretched claim windows, seeded fault
+# schedules) — repeated under the race detector (mirrors the CI job).
 stress-deque:
-	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase|RangeExactlyOnce' ./internal/deque/ ./internal/sched/
+	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase|RangeExactlyOnce|Gate|San' ./internal/deque/ ./internal/sched/
+
+# Schedule fuzzing: the pinned regression corpus plus 1000 fresh seeded fault
+# schedules through the schedfuzz property suites with invariants and the
+# stall watchdog armed. Deterministic: every trial is a pure function of its
+# seed; reproduce a failure with `go run ./cmd/schedfuzz -run <seed> -v`.
+fuzz-sched:
+	$(GO) run ./cmd/schedfuzz -corpus cmd/schedfuzz/testdata/corpus.json -trials 1000 -seed 1
+
+# Nightly long run: a large randomized sweep starting from a caller-supplied
+# seed base (default 1; CI passes the run id) so successive nights cover new
+# schedules.
+FUZZ_SEED ?= 1
+fuzz-sched-long:
+	$(GO) run ./cmd/schedfuzz -trials 20000 -seed $(FUZZ_SEED) -stall 5s
 
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json trace.json

@@ -40,6 +40,7 @@
 //	internal/sim      a deterministic simulator of the Cilk scheduler
 //	internal/dag      the dag model of multithreading (§2)
 //	internal/trace    per-worker event tracing of the parallel schedule
+//	internal/schedsan the scheduler sanitizer: fault injection, invariants
 package cilkgo
 
 import (
@@ -48,6 +49,7 @@ import (
 
 	"cilkgo/internal/pfor"
 	"cilkgo/internal/sched"
+	"cilkgo/internal/schedsan"
 	"cilkgo/internal/trace"
 )
 
@@ -78,6 +80,20 @@ type (
 	// TraceProfile is the derived view of a Trace — worker utilization,
 	// steal latencies, and the live-frames high-water series.
 	TraceProfile = trace.Profile
+	// SanitizeOptions configures the scheduler sanitizer installed by
+	// WithSanitize: the fault-injection plan, invariant checking, the stall
+	// watchdog, and the violation/stall report sinks.
+	SanitizeOptions = schedsan.Options
+	// SanitizePlan is a deterministic, JSON-serializable fault schedule: a
+	// seed plus rules saying which protocol points fail, stall, drop, or
+	// duplicate, and how often. The same plan replays the same faults.
+	SanitizePlan = schedsan.Plan
+	// SanitizeRule is one (point, mode, rate, delay) entry of a SanitizePlan.
+	SanitizeRule = schedsan.Rule
+	// SanitizeReport is a structured invariant-violation or stall report,
+	// carrying a runtime state dump naming each worker's state, deque depth,
+	// and the recent trace tail.
+	SanitizeReport = schedsan.Report
 )
 
 // Sentinel errors of the runtime's robustness layer, re-exported from
@@ -128,6 +144,26 @@ func WithTracing(opts ...sched.TraceOption) Option { return sched.WithTracing(op
 // WithTraceCapacity sets the per-worker trace ring-buffer capacity in
 // events (default 65536; oldest events are overwritten on overflow).
 func WithTraceCapacity(events int) sched.TraceOption { return trace.Capacity(events) }
+
+// WithSanitize arms the scheduler sanitizer on a parallel runtime: seeded
+// fault injection at the steal/claim/park/wake/split/fold/recycle protocol
+// points, runtime invariant checking (join counters, unique view deposits,
+// drain completeness), and a stall watchdog that files a diagnostic report
+// and bumps Stats.Stalls when outstanding work stops making progress.
+// Intended for tests and the cmd/schedfuzz fuzzer; a runtime without this
+// option pays only nil-pointer gates on the affected paths.
+//
+//	plan := cilkgo.RandomFaultPlan(seed)
+//	rt := cilkgo.New(cilkgo.WithSanitize(cilkgo.SanitizeOptions{
+//		Plan:       plan,
+//		Invariants: true,
+//		StallAfter: 2 * time.Second,
+//	}))
+func WithSanitize(o SanitizeOptions) Option { return sched.WithSanitize(o) }
+
+// RandomFaultPlan derives a random liveness-safe fault schedule from a
+// seed, as the schedule fuzzer does: same seed, same plan, same faults.
+func RandomFaultPlan(seed int64) SanitizePlan { return schedsan.RandomPlan(seed) }
 
 // Deprecated option aliases: the pre-redesign names, kept so existing
 // callers keep compiling. New code should use the uniform With-prefixed

@@ -26,6 +26,7 @@
 package deque
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 )
@@ -73,6 +74,39 @@ func (r *ring[T]) grow(bottom, top int64) *ring[T] {
 	return next
 }
 
+// GateOp identifies one thief-side protocol step a Gate can perturb.
+type GateOp uint8
+
+const (
+	// GateSteal is Steal's arbitration: a forced failure makes the steal
+	// report a lost race before attempting its CAS.
+	GateSteal GateOp = iota
+	// GateBatchClaim is StealBatch's claim announcement: a forced failure
+	// makes the batch report a contending claim without publishing one.
+	GateBatchClaim
+	// GateBatchCAS is StealBatch's commit CAS on top: a forced failure
+	// releases the published claim and reports a lost race — the window in
+	// which the owner has already seen (and backed off from) the claim.
+	GateBatchCAS
+	// GateBatchWindow is the interval during which a batch holds its claim;
+	// gates typically inject a delay here to stretch the window the owner's
+	// PopBottom must back off through.
+	GateBatchWindow
+)
+
+// Gate is an optional fault-injection seam over the thief-side protocol
+// (internal/schedsan drives it through the scheduler). A nil gate — the
+// default — costs the thief paths one predictable branch; the owner's
+// PushBottom/PopBottom fast paths are not gated at all. When a gate is
+// installed, StealBatch additionally self-checks its claim-word invariants
+// and panics on violation.
+type Gate interface {
+	// Fail reports whether the step should be forced to fail.
+	Fail(op GateOp) bool
+	// Delay may block the calling thief to stretch the window at op.
+	Delay(op GateOp)
+}
+
 // Deque is a dynamically-sized work-stealing deque of *T.
 //
 // Exactly one goroutine, the owner, may call PushBottom and PopBottom.
@@ -82,6 +116,10 @@ type Deque[T any] struct {
 	top    atomic.Int64 // next index to steal
 	bottom atomic.Int64 // next index to push
 	ring   atomic.Pointer[ring[T]]
+
+	// gate is the optional fault-injection seam; nil outside sanitizer
+	// runs. Installed once by SetGate before the deque is shared.
+	gate Gate
 
 	// claim announces an in-flight StealBatch: zero when none, else the
 	// exclusive upper bound of the index range the batch may take. Classic
@@ -102,6 +140,11 @@ func New[T any]() *Deque[T] {
 	d.ring.Store(newRing[T](minCapacity))
 	return d
 }
+
+// SetGate installs a fault-injection gate on the thief-side protocol. It
+// must be called before the deque is shared with any thief (the field is
+// written without synchronization).
+func (d *Deque[T]) SetGate(g Gate) { d.gate = g }
 
 // PushBottom pushes v onto the bottom (owner end) of the deque.
 // Only the owner may call it.
@@ -185,6 +228,9 @@ func (d *Deque[T]) Steal() *T {
 	if t >= b {
 		return nil
 	}
+	if g := d.gate; g != nil && g.Fail(GateSteal) {
+		return nil // injected lost race
+	}
 	r := d.ring.Load()
 	v := r.load(t)
 	if !d.top.CompareAndSwap(t, t+1) {
@@ -217,10 +263,28 @@ func (d *Deque[T]) StealBatch(dst *Deque[T]) (first *T, moved int) {
 	if take > maxBatch {
 		take = maxBatch
 	}
+	g := d.gate
+	if g != nil && g.Fail(GateBatchClaim) {
+		return nil, 0 // injected claim contention
+	}
 	// Announce the claim before touching anything else. Only one batch may
 	// be in flight per deque; contending batch thieves fall back to Steal.
 	if !d.claim.CompareAndSwap(0, t+take) {
 		return nil, 0
+	}
+	claimed := t + take // the published (never shrunk) claim bound
+	if g != nil {
+		// Sanitizer self-checks: the claim this batch holds must be the one
+		// it published, covering between 1 and maxBatch items above top.
+		if take < 1 || take > maxBatch {
+			panic(fmt.Sprintf("deque: batch claimed %d items (bounds 1..%d)", take, maxBatch))
+		}
+		if c := d.claim.Load(); c != claimed {
+			panic(fmt.Sprintf("deque: claim word %d while batch holds claim %d", c, claimed))
+		}
+		// Stretch the claim-held window: the owner's unarbitrated pops must
+		// keep backing off for as long as the claim is visible.
+		g.Delay(GateBatchWindow)
 	}
 	// Re-read bottom after publishing the claim. Any owner pop that did not
 	// see the claim published its lowered bottom before our claim landed
@@ -245,6 +309,15 @@ func (d *Deque[T]) StealBatch(dst *Deque[T]) (first *T, moved int) {
 	var vals [maxBatch]*T
 	for i := int64(0); i < take; i++ {
 		vals[i] = r.load(t + i)
+	}
+	if g != nil {
+		if c := d.claim.Load(); c != claimed {
+			panic(fmt.Sprintf("deque: claim word %d rewritten under in-flight batch (published %d)", c, claimed))
+		}
+		if g.Fail(GateBatchCAS) {
+			d.claim.Store(0)
+			return nil, 0 // injected commit failure after the claim was visible
+		}
 	}
 	if !d.top.CompareAndSwap(t, t+take) {
 		d.claim.Store(0)

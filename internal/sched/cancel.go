@@ -200,5 +200,13 @@ func (rt *Runtime) ShutdownDrain(drain time.Duration) bool {
 		time.Sleep(50 * time.Microsecond)
 	}
 	rt.wg.Wait()
+	rt.san.shut()
+	// Satellite invariant of the drain protocol: a bounded drain must never
+	// strand a task. Workers exit only when closed && activeRoots == 0 &&
+	// the injection queue is empty, and an unexecuted task keeps its run's
+	// join counters above zero — which keeps the run active — so after
+	// wg.Wait every deque and the injection queue must be empty even when
+	// the drain deadline forced cancellation mid-batch-steal.
+	rt.sanVerifyDrained()
 	return drained
 }

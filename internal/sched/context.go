@@ -1,6 +1,10 @@
 package sched
 
-import "time"
+import (
+	"time"
+
+	"cilkgo/internal/schedsan"
+)
 
 // Context is the handle a strand uses to create and synchronize parallel
 // work. A Context is bound to one executing function instance (one frame);
@@ -154,7 +158,15 @@ func (c *Context) Sync() {
 	}
 	c.syncWait()
 	f := c.frame
+	if n := f.pending.Load(); n < 0 && c.rt.sanChecks() {
+		c.rt.sanViolation("sync on frame depth %d observed join counter %d — a child joined twice", f.depth, n)
+	}
 	if f.nextOrdinal > 0 || f.nextLoopSeq > 0 {
+		if c.w != nil {
+			// Sanitizer: stretch the window between the last child deposit
+			// and the fold that consumes the deposits.
+			c.w.san.Delay(schedsan.PointViewFold)
+		}
 		c.views = f.foldViews(c.views)
 		f.nextOrdinal = 0
 		f.nextLoopSeq = 0
@@ -171,7 +183,11 @@ func (c *Context) syncWait() {
 	}
 	w := c.w
 	backoff := minBackoff
-	for f.pending.Load() != 0 {
+	// A healthy join counter reaches exactly zero. It can only go negative
+	// through a double-join bug; exiting on <= 0 (instead of != 0) keeps
+	// that failure observable — Sync's gated invariant check reports the
+	// negative counter — rather than an unexplained spin here.
+	for f.pending.Load() > 0 {
 		if t := w.deque.PopBottom(); t != nil {
 			w.runTask(t)
 			backoff = minBackoff

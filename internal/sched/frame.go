@@ -93,6 +93,19 @@ func (f *frame) depositPiece(seq int32, start int, views viewMap) {
 		return
 	}
 	f.redMu.Lock()
+	if rt := f.run.rt; rt != nil && rt.sanChecks() {
+		// Iteration indexes are consumed exactly once, so two episodes of
+		// one loop can never begin at the same index: a duplicate (seq,
+		// start) deposit means some piece executed twice.
+		for i := range f.pieces {
+			if f.pieces[i].seq == seq && f.pieces[i].start == start {
+				f.redMu.Unlock()
+				rt.sanViolation("duplicate range-piece deposit (loop %d, start %d) — a piece executed twice", seq, start)
+				f.redMu.Lock()
+				break
+			}
+		}
+	}
 	f.pieces = append(f.pieces, pieceDeposit{seq: seq, start: start, views: views})
 	f.redMu.Unlock()
 }
@@ -107,6 +120,13 @@ func (f *frame) sealSegment(k int32, views viewMap) {
 // worker when the child's task completes.
 func (f *frame) depositChildViews(k int32, views viewMap) {
 	f.redMu.Lock()
+	if rt := f.run.rt; rt != nil && rt.sanChecks() && int(k) < len(f.childViews) && f.childViews[k] != nil {
+		// Each spawn ordinal belongs to exactly one child task; a second
+		// deposit at the same ordinal means that task completed twice.
+		f.redMu.Unlock()
+		rt.sanViolation("duplicate reducer-view deposit for child ordinal %d — a task completed twice", k)
+		f.redMu.Lock()
+	}
 	f.childViews = storeAt(f.childViews, int(k), views)
 	f.redMu.Unlock()
 }

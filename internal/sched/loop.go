@@ -1,5 +1,7 @@
 package sched
 
+import "cilkgo/internal/schedsan"
+
 // This file implements lazy, steal-driven loop splitting: the range-task
 // representation behind cilk_for (internal/pfor).
 //
@@ -88,7 +90,7 @@ func (c *Context) LoopRange(lo, hi, grain int, body func(c *Context, lo, hi int)
 	// (a thief, or this worker's later pop) joins it.
 	var held bool
 	if c.w.peel(t, c, &held) {
-		f.pending.Add(-1)
+		c.rt.sanJoin(f.pending.Add(-1), "an owner-consumed range task", f.run)
 		freeTask(t)
 	}
 }
@@ -126,6 +128,9 @@ func (w *worker) peel(t *task, ctx *Context, held *bool) bool {
 		*held = false
 		w.deque.PushBottom(t)
 		w.rt.wake()
+		// Sanitizer: stretch the window in which the republished remainder
+		// is exposed to thieves while this strand runs the peeled chunk.
+		w.san.Delay(schedsan.PointChunkPeel)
 		w.runChunk(ctx, ls, lo, end)
 		// Reclaim the remainder. The chunk may have spawned: then the top of
 		// our deque holds its children, not t. Put the popped task back and
@@ -170,6 +175,9 @@ func (w *worker) splitRange(t *task) {
 	if t.hi-t.lo <= ls.grain || rs.cancelled() {
 		return
 	}
+	if w.san.Fail(schedsan.PointRangeSplit) {
+		return // injected skipped split (legal: the thief runs the whole range)
+	}
 	mid := t.lo + (t.hi-t.lo)/2
 	ls.frame.pending.Add(1) // the new half is one more piece to join
 	nt := newRangeTask(ls, mid, t.hi)
@@ -200,7 +208,7 @@ func (w *worker) runPiece(t *task) {
 			s.tasksSkipped.Add(1)
 		}
 		w.rec.TaskSkip(depth, rs.id)
-		lf.pending.Add(-1)
+		w.rt.sanJoin(lf.pending.Add(-1), "a skipped range task", rs)
 		freeTask(t)
 		return
 	}
@@ -247,11 +255,11 @@ func (w *worker) runPiece(t *task) {
 	// fold until every episode's views are visible.
 	lf.depositPiece(ls.seq, start, ctx.views)
 	if consumed {
-		lf.pending.Add(-1)
+		w.rt.sanJoin(lf.pending.Add(-1), "a consumed range task", rs)
 		freeTask(t)
 	}
-	lf.pending.Add(-1) // release the episode unit
-	freeFrame(pf)
+	w.rt.sanJoin(lf.pending.Add(-1), "an episode unit", rs) // release the episode unit
+	w.recycleFrame(pf)
 	w.ws.liveFrames.Add(-1)
 	if s := rs.stats; s != nil {
 		s.liveFrames.Add(-1)

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"cilkgo/internal/deque"
+	"cilkgo/internal/schedsan"
 	"cilkgo/internal/trace"
 )
 
@@ -46,6 +47,7 @@ type config struct {
 	lockThreads bool
 	trace       bool
 	traceOpts   []TraceOption
+	sanitize    *schedsan.Options
 }
 
 // Option configures a Runtime.
@@ -140,6 +142,11 @@ type Runtime struct {
 	runsCanceled      atomic.Int64
 	panicsQuarantined atomic.Int64
 
+	// Sanitizer layer (see sanitize.go): nil unless built with WithSanitize.
+	// stalls counts the watchdog's no-progress findings (Stats.Stalls).
+	san    *sanState
+	stalls atomic.Int64
+
 	// parked counts workers blocked on cond in the park phase of their
 	// hunt. Producers (Spawn pushes, batch-steal extras) read it to decide
 	// whether a wakeup is needed; with no one parked, publishing work costs
@@ -175,6 +182,9 @@ func New(opts ...Option) *Runtime {
 	if cfg.trace && cfg.serial {
 		panic("sched: Tracing requires a parallel runtime (hooks cover the serial elision)")
 	}
+	if cfg.sanitize != nil && cfg.serial {
+		panic("sched: WithSanitize requires a parallel runtime (there is no schedule to sanitize serially)")
+	}
 	if cfg.serial {
 		cfg.workers = 1
 	}
@@ -199,9 +209,17 @@ func New(opts ...Option) *Runtime {
 			rt.workers[i].rec = rt.tracer.Recorder(i)
 		}
 	}
+	if cfg.sanitize != nil {
+		// Wire lanes and deque gates before any worker runs, then start the
+		// watchdog alongside them.
+		rt.san = newSanState(rt, *cfg.sanitize)
+	}
 	rt.wg.Add(len(rt.workers))
 	for _, w := range rt.workers {
 		go w.loop()
+	}
+	if rt.san != nil {
+		rt.san.start(rt)
 	}
 	return rt
 }
@@ -270,12 +288,20 @@ func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stat
 	rt.activeRoots++
 	rt.active[rs] = struct{}{}
 	rt.inject = append(rt.inject, t)
-	rt.cond.Broadcast()
+	if s := rt.san; s != nil && s.opts.BreakInjectWake {
+		// Deliberately broken root announcement (test-only): the new work is
+		// visible in the injection queue but no parked worker is told. This
+		// is the one fault that genuinely stalls the runtime — the watchdog
+		// acceptance test uses it to exercise detection and rescue.
+	} else {
+		rt.cond.Broadcast()
+	}
 	rt.mu.Unlock()
 
 	stop := rs.watch(ctx)
 	<-rs.done
 	stop()
+	rt.sanRunQuiescence(rs)
 	return rs.snapshot(), rs.err()
 }
 
@@ -336,6 +362,8 @@ func (rt *Runtime) Shutdown() {
 	rt.cond.Broadcast()
 	rt.mu.Unlock()
 	rt.wg.Wait()
+	rt.san.shut()
+	rt.sanVerifyDrained()
 }
 
 // Panic is one quarantined panic: the value passed to panic and the stack
@@ -385,6 +413,15 @@ type worker struct {
 	// Stealing"), so the next sweep probes it first. Only the worker's own
 	// goroutine touches it.
 	lastVictim int
+
+	// Sanitizer fields (see sanitize.go). san is the worker's fault-
+	// injection lane, nil without WithSanitize. watch gates the state word:
+	// when the stall watchdog is armed, the worker publishes its coarse
+	// state (running/hunting/parked) at task and park boundaries so the
+	// watchdog can tell long user chunks from a stalled scheduler.
+	san   *schedsan.Lane
+	watch bool
+	state atomic.Int32
 }
 
 // Hunt phases, measured in consecutive failed sweeps. A worker that runs out
@@ -415,7 +452,13 @@ func (w *worker) loop() {
 				w.rec.IdleExit()
 			}
 			fails = 0
+			if w.watch {
+				w.state.Store(stateRunning)
+			}
 			w.runTask(t)
+			if w.watch {
+				w.state.Store(stateHunting)
+			}
 			continue
 		}
 		if !w.hunting {
@@ -557,6 +600,9 @@ const (
 // so the signal cannot fall between a parker's last look for work and its
 // wait.
 func (rt *Runtime) wake() {
+	if s := rt.san; s != nil && s.wakeFault(rt) {
+		return // injected lost wakeup (liveness-benign; see stealableWork)
+	}
 	if rt.parked.Load() == 0 {
 		return
 	}
@@ -566,9 +612,25 @@ func (rt *Runtime) wake() {
 }
 
 // stealableWork reports whether any worker's deque appeared non-empty. The
-// loads are racy, but a parker calls this under rt.mu and every producer's
-// wake takes rt.mu, so work pushed after a parker's check cannot be missed:
-// the producer's Signal is ordered after the parker's Wait.
+// loads are racy, and a spawn-path wake CAN be lost entirely: the producer's
+// fast path reads parked without the mutex, so the interleaving
+//
+//	parker reads producer's deque empty → producer pushes → producer reads
+//	parked == 0 (skips the Signal) → parker registers as parked and Waits
+//
+// is consistent even under sequentially consistent atomics — nothing orders
+// the parker's registration before the producer's read. The lost wakeup is
+// nevertheless benign for liveness: every producer outside the injection
+// path is a worker that just pushed onto its *own* deque, and a worker
+// cannot park while its own deque is non-empty (it pops it dry first and
+// re-checks under the lock here), so the pushed work is always executed or
+// re-exposed by its producer even if every parked worker sleeps through it.
+// The regression test TestSanDropWakeLiveness pins this argument by
+// dropping every spawn-path wake and requiring runs to complete. Only the
+// root-injection broadcast lacks a producer that will execute the work
+// itself, which is why run() takes the mutex and broadcasts uncondition-
+// ally — and why schedsan treats that one wakeup as unloseable (its loss,
+// Options.BreakInjectWake, is a genuine stall reserved for watchdog tests).
 func (rt *Runtime) stealableWork() bool {
 	for _, v := range rt.workers {
 		if !v.deque.Empty() {
@@ -586,10 +648,16 @@ func (rt *Runtime) stealableWork() bool {
 // no sleep.
 func (w *worker) park() bool {
 	rt := w.rt
+	// Sanitizer: stretch the classic check-then-block window between the
+	// last failed sweep and registration as parked.
+	w.san.Delay(schedsan.PointPark)
 	rt.mu.Lock()
 	for {
 		if rt.closed && rt.activeRoots == 0 && len(rt.inject) == 0 {
 			rt.mu.Unlock()
+			if rt.sanChecks() && !w.deque.Empty() {
+				rt.sanViolation("worker %d exiting with %d tasks in its deque", w.id, w.deque.Size())
+			}
 			return false
 		}
 		if len(rt.inject) > 0 || rt.stealableWork() {
@@ -597,9 +665,15 @@ func (w *worker) park() bool {
 			return true
 		}
 		rt.parked.Add(1)
+		if w.watch {
+			w.state.Store(stateParked)
+		}
 		w.rec.Park()
 		rt.cond.Wait()
 		w.rec.Unpark()
+		if w.watch {
+			w.state.Store(stateHunting)
+		}
 		rt.parked.Add(-1)
 	}
 }
@@ -617,7 +691,7 @@ func (w *worker) runTask(t *task) {
 		return
 	}
 	fn, f := t.fn, t.frame
-	freeTask(t)
+	w.recycleTask(t)
 	rs := f.run
 	if rs.cancelled() {
 		w.skipFrame(f)
@@ -654,7 +728,7 @@ func (w *worker) runTask(t *task) {
 		if len(ctx.views) > 0 {
 			p.depositChildViews(f.ordinal, ctx.views)
 		}
-		p.pending.Add(-1)
+		w.rt.sanJoin(p.pending.Add(-1), "a completed child", rs)
 	} else {
 		finalizeViews(ctx.views)
 		rs.finish()
@@ -664,7 +738,7 @@ func (w *worker) runTask(t *task) {
 	// recycled. The task was recycled on entry — safe because ring slots no
 	// longer retain stale pointers, so no thief can observe either object
 	// after this point.
-	freeFrame(f)
+	w.recycleFrame(f)
 	w.ws.liveFrames.Add(-1)
 	if s := rs.stats; s != nil {
 		s.liveFrames.Add(-1)
@@ -687,9 +761,9 @@ func (w *worker) skipFrame(f *frame) {
 	}
 	w.rec.TaskSkip(f.depth, rs.id)
 	if p := f.parent; p != nil {
-		p.pending.Add(-1)
+		w.rt.sanJoin(p.pending.Add(-1), "a skipped child", rs)
 	} else {
 		rs.finish()
 	}
-	freeFrame(f)
+	w.recycleFrame(f)
 }

@@ -89,6 +89,10 @@ type Stats struct {
 	LoopSplits   int64
 	ChunksPeeled int64
 	RangeSteals  int64
+	// Stalls counts no-global-progress windows detected by the sanitizer's
+	// stall watchdog (see schedsan.Options.StallAfter). Always zero on a
+	// runtime built without WithSanitize or without a watchdog threshold.
+	Stalls int64
 }
 
 // Stats aggregates the per-worker counters. Counters of computations still
@@ -115,6 +119,7 @@ func (rt *Runtime) Stats() Stats {
 			s.MaxDepth = m
 		}
 	}
+	s.Stalls = rt.stalls.Load()
 	return s
 }
 
@@ -134,6 +139,7 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.LoopSplits -= prev.LoopSplits
 	s.ChunksPeeled -= prev.ChunksPeeled
 	s.RangeSteals -= prev.RangeSteals
+	s.Stalls -= prev.Stalls
 	return s
 }
 
@@ -164,6 +170,15 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		// cause) and panics quarantined across all runs.
 		"runs_canceled":      rt.runsCanceled.Load(),
 		"panics_quarantined": rt.panicsQuarantined.Load(),
+	}
+	if s.Stalls > 0 || rt.san != nil {
+		m["stalls"] = s.Stalls
+	}
+	if san := rt.san; san != nil {
+		san.mu.Lock()
+		m["san_violations"] = san.violations
+		san.mu.Unlock()
+		m["san_faults_injected"] = san.inj.TotalFired()
 	}
 	for i, w := range rt.workers {
 		p := fmt.Sprintf("worker.%d.", i)

@@ -1,0 +1,65 @@
+package schedsan
+
+import "time"
+
+// Shrink reduces a failing fault plan to a (locally) minimal fault script:
+// the returned plan still fails according to the supplied predicate, but no
+// single rule can be removed from it, and no remaining rule's rate or delay
+// can be halved, without the failure disappearing. fails must re-run the
+// reproduction under the candidate plan and report whether the failure
+// still occurs; because fault schedules are probabilistic, callers normally
+// run a few trials per candidate and report "any trial failed".
+//
+// Shrinking is greedy — remove rules first (the dominant simplification),
+// then attenuate rates and delays — and loops to a fixpoint. The number of
+// fails invocations is O(rules² + rules·log(rate/ε)) in the worst case.
+func Shrink(p Plan, fails func(Plan) bool) Plan {
+	cur := p
+	for {
+		changed := false
+		// Pass 1: drop whole rules.
+		for i := 0; i < len(cur.Rules); i++ {
+			cand := Plan{Seed: cur.Seed, Rules: removeRule(cur.Rules, i)}
+			if fails(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+		// Pass 2: halve rates and delays of the survivors.
+		for i := range cur.Rules {
+			r := cur.Rules[i]
+			if r.Every == 0 && r.Rate > 0.02 {
+				cand := clonePlan(cur)
+				cand.Rules[i].Rate = r.Rate / 2
+				if fails(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+			if r.Delay > time.Microsecond {
+				cand := clonePlan(cur)
+				cand.Rules[i].Delay = r.Delay / 2
+				if fails(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return cur
+		}
+	}
+}
+
+func removeRule(rules []Rule, i int) []Rule {
+	out := make([]Rule, 0, len(rules)-1)
+	out = append(out, rules[:i]...)
+	return append(out, rules[i+1:]...)
+}
+
+func clonePlan(p Plan) Plan {
+	out := Plan{Seed: p.Seed, Rules: make([]Rule, len(p.Rules))}
+	copy(out.Rules, p.Rules)
+	return out
+}
