@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san stress-deque fuzz-sched fuzz-sched-long clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs stress-deque fuzz-sched fuzz-sched-long clean
 
 all: build vet test
 
@@ -64,6 +64,16 @@ bench-san:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_san.json
 
+# Observability-overhead gate: the uncancelled fib/matmul C-series runs (no
+# observer — proving a runtime built without WithObserver stays within ±2% of
+# the committed seed measurement) plus the O-series runs of the same
+# workloads on an observed runtime, which record what live work/span
+# accounting costs when it is switched on. Diffed into BENCH_obs.json.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs|BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -count=5 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_obs.json
+
 # Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
 # steal-path and lazy-loop exactly-once tests — and the fault-injected Gate/San
 # suites (forced claim/CAS failures, stretched claim windows, seeded fault
@@ -86,4 +96,4 @@ fuzz-sched-long:
 	$(GO) run ./cmd/schedfuzz -trials 20000 -seed $(FUZZ_SEED) -stall 5s
 
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json trace.json

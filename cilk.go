@@ -46,7 +46,9 @@ package cilkgo
 import (
 	"expvar"
 	"io"
+	"net/http"
 
+	"cilkgo/internal/obs"
 	"cilkgo/internal/pfor"
 	"cilkgo/internal/sched"
 	"cilkgo/internal/schedsan"
@@ -94,6 +96,14 @@ type (
 	// carrying a runtime state dump naming each worker's state, deque depth,
 	// and the recent trace tail.
 	SanitizeReport = schedsan.Report
+	// Observer is the run registry installed by WithObserver: it receives
+	// every Run's online Cilkview report (work, span, per-run stats) and
+	// retains the recent ones for DebugHandler's endpoints.
+	Observer = obs.Registry
+	// RunReport is one observed run's terminal record: wall times, per-run
+	// Stats including the online Work (T1) and Span (T∞) measured during
+	// the parallel execution, and the run's error.
+	RunReport = sched.RunReport
 )
 
 // Sentinel errors of the runtime's robustness layer, re-exported from
@@ -207,6 +217,32 @@ func Summarize(t *Trace) *TraceProfile { return trace.BuildProfile(t, 60) }
 func PublishExpvar(name string, rt *Runtime) {
 	expvar.Publish(name, expvar.Func(func() any { return rt.Metrics() }))
 }
+
+// NewObserver returns an Observer retaining the keep most recent completed
+// runs (keep <= 0 selects a default of 64). Install it with WithObserver.
+func NewObserver(keep int) *Observer { return obs.NewRegistry(keep) }
+
+// WithObserver installs o as the runtime's run observer and arms the online
+// Cilkview clocks: every Run's work (T1) and span (T∞) are measured during
+// the parallel execution itself — per-strand clocks aggregated at
+// spawn/sync boundaries — and reported to o, together with the run's Stats,
+// and the runtime's live steal-latency and park-to-wake histograms begin
+// recording. A runtime without an observer pays one nil check per spawn and
+// sync; with one, two monotonic clock reads per boundary.
+//
+//	reg := cilkgo.NewObserver(0)
+//	rt := cilkgo.New(cilkgo.WithObserver(reg), cilkgo.WithTracing())
+//	http.Handle("/", cilkgo.DebugHandler(rt))
+func WithObserver(o *Observer) Option { return sched.WithRunObserver(o) }
+
+// DebugHandler returns the runtime's HTTP introspection server: Prometheus
+// metrics on /metrics, live and recent runs with online scalability
+// estimates on /debug/cilk/runs, a Cilkview parallelism profile on
+// /debug/cilk/profile, capture-on-demand Chrome traces on /debug/cilk/trace
+// (requires WithTracing), and the sanitizer's stall findings on
+// /debug/cilk/stalls. Mount it on any mux; run-level endpoints require
+// WithObserver.
+func DebugHandler(rt *Runtime) http.Handler { return obs.Handler(rt) }
 
 // For executes body(ctx, i) for every i in [lo, hi) as a cilk_for loop:
 // divide-and-conquer parallel recursion over the iteration space with an

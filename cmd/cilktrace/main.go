@@ -10,13 +10,25 @@
 // The acceptance smoke test from the issue:
 //
 //	cilktrace -workload fib -n 30 -workers 4 -o trace.json
+//
+// With -url, cilktrace instead captures a trace from a live server exposing
+// the introspection endpoints (cilkgo.DebugHandler, as examples/serve
+// mounts): it asks /debug/cilk/trace to record the next -dur of whatever the
+// server is executing and saves the Chrome JSON to -o:
+//
+//	cilktrace -url http://localhost:8080 -dur 2s -o live.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"cilkgo"
 	"cilkgo/internal/cilkview"
@@ -37,8 +49,18 @@ func main() {
 		capacity = flag.Int("capacity", 1<<16, "per-worker trace ring capacity in events")
 		buckets  = flag.Int("buckets", 60, "utilization timeline buckets")
 		burden   = flag.Int64("burden", 1000, "per-spawn burden for the predicted (Cilkview) profile")
+		liveURL  = flag.String("url", "", "capture from a live server's /debug/cilk/trace instead of running a workload (base URL, e.g. http://localhost:8080)")
+		liveDur  = flag.Duration("dur", 2*time.Second, "capture window for -url mode")
 	)
 	flag.Parse()
+
+	if *liveURL != "" {
+		if err := captureLive(*liveURL, *liveDur, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "cilktrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p := *workers
 	if p <= 0 {
@@ -104,6 +126,53 @@ func main() {
 	} else {
 		fmt.Printf("\n(no analytic dag model for %q; predicted-parallelism comparison skipped)\n", *workload)
 	}
+}
+
+// captureLive asks a live server's /debug/cilk/trace endpoint to record the
+// next dur of scheduler activity and writes the returned Chrome trace JSON
+// to out. base is the server's base URL; a path already pointing at the
+// endpoint is used as-is.
+func captureLive(base string, dur time.Duration, out string) error {
+	if out == "" {
+		return fmt.Errorf("-url mode needs -o (nowhere to save the capture)")
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("bad -url: %v", err)
+	}
+	if !strings.HasSuffix(u.Path, "/debug/cilk/trace") {
+		u.Path = strings.TrimSuffix(u.Path, "/") + "/debug/cilk/trace"
+	}
+	q := u.Query()
+	q.Set("dur", dur.String())
+	u.RawQuery = q.Encode()
+
+	// The server blocks for the whole capture window before it responds;
+	// give it the window plus slack.
+	client := &http.Client{Timeout: dur + 30*time.Second}
+	fmt.Printf("capturing %v from %s ...\n", dur, u)
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes; open in Perfetto or chrome://tracing)\n", out, n)
+	return nil
 }
 
 // pickWorkload returns the parallel workload body and, when one exists, the

@@ -9,16 +9,25 @@
 //   - scheduler counters — including tasks_skipped, runs_canceled, and
 //     panics_quarantined from the robustness layer — are published on
 //     /debug/vars via cilkgo.PublishExpvar;
+//   - the runtime carries an online Cilkview observer, so the introspection
+//     server (cilkgo.DebugHandler) exposes Prometheus metrics on /metrics,
+//     per-run scalability reports on /debug/cilk/runs and
+//     /debug/cilk/profile, capture-on-demand Chrome traces on
+//     /debug/cilk/trace, and — with -statsheader — every response carries
+//     an X-Cilk-Stats header summarizing its own computation;
 //   - SIGINT/SIGTERM drains gracefully: the HTTP listener stops, then
 //     Runtime.ShutdownDrain gives in-flight computations a bounded grace
 //     period before cancelling them with ErrShutdown.
 //
 // Try it:
 //
-//	go run ./examples/serve -addr :8080 &
+//	go run ./examples/serve -addr :8080 -statsheader &
 //	curl 'localhost:8080/matmul?n=256'            # completes
 //	curl 'localhost:8080/matmul?n=2048&budget=50ms'  # deadline exceeded → 504
-//	curl 'localhost:8080/debug/vars'              # scheduler metrics
+//	curl 'localhost:8080/metrics'                 # Prometheus scrape
+//	curl 'localhost:8080/debug/cilk/runs'         # per-run scalability (JSON)
+//	curl 'localhost:8080/debug/cilk/profile'      # Fig. 3 profile, on demand
+//	curl -OJ 'localhost:8080/debug/cilk/trace?dur=2s'  # Perfetto-loadable trace
 package main
 
 import (
@@ -42,15 +51,22 @@ import (
 )
 
 var (
-	addr    = flag.String("addr", ":8080", "listen address")
-	workers = flag.Int("workers", 0, "cilk workers (0 = one per processor)")
-	budget  = flag.Duration("budget", 2*time.Second, "default per-request compute budget")
-	drain   = flag.Duration("drain", 5*time.Second, "shutdown drain for in-flight requests")
+	addr        = flag.String("addr", ":8080", "listen address")
+	workers     = flag.Int("workers", 0, "cilk workers (0 = one per processor)")
+	budget      = flag.Duration("budget", 2*time.Second, "default per-request compute budget")
+	drain       = flag.Duration("drain", 5*time.Second, "shutdown drain for in-flight requests")
+	statsHeader = flag.Bool("statsheader", false, "attach an X-Cilk-Stats header (tasks, steals, parallelism) to every compute response")
+	keepRuns    = flag.Int("keepruns", 64, "completed runs retained for /debug/cilk/runs")
 )
 
 func main() {
 	flag.Parse()
-	var opts []cilkgo.Option
+	opts := []cilkgo.Option{
+		// The observer powers /metrics histograms, /debug/cilk/runs, and the
+		// X-Cilk-Stats header; tracing powers /debug/cilk/trace.
+		cilkgo.WithObserver(cilkgo.NewObserver(*keepRuns)),
+		cilkgo.WithTracing(),
+	}
 	if *workers > 0 {
 		opts = append(opts, cilkgo.WithWorkers(*workers))
 	}
@@ -60,6 +76,9 @@ func main() {
 	mux := http.DefaultServeMux
 	mux.HandleFunc("/matmul", handle(rt, matmul))
 	mux.HandleFunc("/sinsum", handle(rt, sinsum))
+	debug := cilkgo.DebugHandler(rt)
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/cilk/", debug)
 
 	srv := &http.Server{Addr: *addr}
 	errc := make(chan error, 1)
@@ -118,7 +137,22 @@ func handle(rt *cilkgo.Runtime, work func(c *cilkgo.Context, n int) float64) htt
 
 		var result float64
 		start := time.Now()
-		err := rt.RunCtx(ctx, func(c *cilkgo.Context) { result = work(c, n) })
+		var err error
+		if *statsHeader {
+			// Per-request accounting: the header summarizes this request's
+			// own computation — tasks it ran, steals of its tasks, and its
+			// online parallelism estimate (work/span, measured while the
+			// parallel schedule ran).
+			var st cilkgo.Stats
+			st, err = rt.RunWithStatsCtx(ctx, func(c *cilkgo.Context) { result = work(c, n) })
+			hdr := fmt.Sprintf("tasks=%d steals=%d", st.TasksRun, st.Steals)
+			if st.Span > 0 {
+				hdr += fmt.Sprintf(" parallelism=%.2f", float64(st.Work)/float64(st.Span))
+			}
+			w.Header().Set("X-Cilk-Stats", hdr)
+		} else {
+			err = rt.RunCtx(ctx, func(c *cilkgo.Context) { result = work(c, n) })
+		}
 		elapsed := time.Since(start)
 		switch {
 		case err == nil:

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cilkgo/internal/cilkview"
+	"cilkgo/internal/sched"
+	"cilkgo/internal/schedsan"
+	"cilkgo/internal/trace"
+)
+
+// Handler returns the runtime's HTTP introspection server, mountable under
+// any mux (typically at "/" — the handler owns the full paths below):
+//
+//	/metrics                 Prometheus text: counters + latency histograms
+//	/debug/cilk/runs         JSON: in-flight and recent runs with online
+//	                         Cilkview scalability estimates
+//	/debug/cilk/profile      the Fig. 3 parallelism profile of one run,
+//	                         rendered on demand (?id=N; default most recent)
+//	/debug/cilk/trace        capture-on-demand Chrome trace (?dur=2s),
+//	                         downloadable straight into Perfetto
+//	/debug/cilk/stalls       JSON: the sanitizer watchdog's latest stall and
+//	                         invariant findings
+//
+// Run-level endpoints need the runtime built with an observer
+// (sched.WithRunObserver(obs.NewRegistry(...))); without one they answer
+// 404 with a hint. /metrics always works; /debug/cilk/trace needs
+// sched.WithTracing; /debug/cilk/stalls needs sched.WithSanitize.
+func Handler(rt *sched.Runtime) http.Handler {
+	reg, _ := rt.RunObserver().(*Registry)
+	h := &handler{rt: rt, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/debug/cilk/runs", h.runs)
+	mux.HandleFunc("/debug/cilk/profile", h.profile)
+	mux.HandleFunc("/debug/cilk/trace", h.trace)
+	mux.HandleFunc("/debug/cilk/stalls", h.stalls)
+	mux.HandleFunc("/debug/cilk/", h.index)
+	return mux
+}
+
+type handler struct {
+	rt  *sched.Runtime
+	reg *Registry
+}
+
+// meanSteal returns the runtime's observed mean steal latency, the per-
+// migration burden estimate behind the burdened-span numbers.
+func (h *handler) meanSteal() time.Duration {
+	if hist, ok := h.rt.LatencyHistograms()["steal_latency"]; ok {
+		return hist.Mean()
+	}
+	return 0
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w, h.rt, h.reg)
+}
+
+// runJSON is one run in the /debug/cilk/runs payload.
+type runJSON struct {
+	ID          int64     `json:"id"`
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	Err         string    `json:"err,omitempty"`
+	Spawns      int64     `json:"spawns"`
+	TasksRun    int64     `json:"tasks_run"`
+	Steals      int64     `json:"steals"`
+	Scalability `json:"scalability"`
+}
+
+func (h *handler) runs(w http.ResponseWriter, r *http.Request) {
+	if h.reg == nil {
+		noObserver(w)
+		return
+	}
+	workers := h.rt.Workers()
+	meanSteal := h.meanSteal()
+	recent := h.reg.Recent()
+	out := struct {
+		Workers       int           `json:"workers"`
+		MeanStealNS   time.Duration `json:"mean_steal_latency_ns"`
+		RunsCompleted int64         `json:"runs_completed"`
+		RunsErrored   int64         `json:"runs_errored"`
+		Live          []LiveRun     `json:"live"`
+		Recent        []runJSON     `json:"recent"`
+	}{Workers: workers, MeanStealNS: meanSteal, Live: h.reg.Live()}
+	out.RunsCompleted, out.RunsErrored = h.reg.Totals()
+	for _, rep := range recent {
+		rj := runJSON{
+			ID:          rep.ID,
+			Start:       rep.Start,
+			End:         rep.End,
+			Spawns:      rep.Stats.Spawns,
+			TasksRun:    rep.Stats.TasksRun,
+			Steals:      rep.Stats.Steals,
+			Scalability: Scalable(rep, workers, meanSteal),
+		}
+		if rep.Err != nil {
+			rj.Err = rep.Err.Error()
+		}
+		out.Recent = append(out.Recent, rj)
+	}
+	writeJSON(w, out)
+}
+
+func (h *handler) profile(w http.ResponseWriter, r *http.Request) {
+	if h.reg == nil {
+		noObserver(w)
+		return
+	}
+	var rep sched.RunReport
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		var id int64
+		if _, err := fmt.Sscan(idStr, &id); err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		found := false
+		for _, cand := range h.reg.Recent() {
+			if cand.ID == id {
+				rep, found = cand, true
+				break
+			}
+		}
+		if !found {
+			http.Error(w, fmt.Sprintf("run %d not in the recent-runs ring", id), http.StatusNotFound)
+			return
+		}
+	} else {
+		var ok bool
+		if rep, ok = h.reg.Last(); !ok {
+			http.Error(w, "no completed runs yet", http.StatusNotFound)
+			return
+		}
+	}
+	p := Profile(rep, h.meanSteal())
+	procs := make([]int, h.rt.Workers())
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	var measured []cilkview.Point
+	if wall := rep.End.Sub(rep.Start); wall > 0 && p.Work > 0 {
+		measured = []cilkview.Point{{Procs: h.rt.Workers(), Speedup: float64(p.Work) / float64(wall)}}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, cilkview.Render(p, procs, measured))
+}
+
+// maxCaptureDur caps /debug/cilk/trace captures: the handler blocks for the
+// capture window, and an unbounded dur would let one request pin tracing
+// (and a handler goroutine) arbitrarily long.
+const maxCaptureDur = 30 * time.Second
+
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	tr := h.rt.Tracer()
+	if tr == nil {
+		http.Error(w, "runtime built without WithTracing", http.StatusServiceUnavailable)
+		return
+	}
+	dur := 2 * time.Second
+	if ds := r.URL.Query().Get("dur"); ds != "" {
+		d, err := time.ParseDuration(ds)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad dur (want e.g. dur=2s)", http.StatusBadRequest)
+			return
+		}
+		dur = d
+	}
+	if dur > maxCaptureDur {
+		dur = maxCaptureDur
+	}
+	capture := tr.Capture(dur)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="cilk-trace.json"`)
+	_ = trace.WriteChrome(w, capture)
+}
+
+func (h *handler) stalls(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Stall     *schedsan.Report `json:"stall"`
+		Violation *schedsan.Report `json:"violation"`
+	}{h.rt.StallReport(), h.rt.ViolationReport()})
+}
+
+func (h *handler) index(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `cilk runtime introspection
+  /metrics                 Prometheus scrape
+  /debug/cilk/runs         live + recent runs with scalability estimates (JSON)
+  /debug/cilk/profile      parallelism profile of one run (?id=N)
+  /debug/cilk/trace        capture a Chrome trace (?dur=2s)
+  /debug/cilk/stalls       sanitizer stall/violation findings (JSON)
+`)
+}
+
+func noObserver(w http.ResponseWriter) {
+	http.Error(w, "runtime built without a run observer (use cilk.WithObserver)", http.StatusNotFound)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

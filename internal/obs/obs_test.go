@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cilkgo/internal/cilkview"
+	"cilkgo/internal/sched"
+)
+
+func report(id int64, work, span, wall time.Duration, steals int64) sched.RunReport {
+	start := time.Unix(1000, 0)
+	return sched.RunReport{
+		ID:    id,
+		Start: start,
+		End:   start.Add(wall),
+		Stats: sched.Stats{Work: work, Span: span, Steals: steals, Spawns: 100},
+	}
+}
+
+func TestRegistryRing(t *testing.T) {
+	r := NewRegistry(3)
+	for i := int64(1); i <= 5; i++ {
+		r.RunStart(i, time.Unix(i, 0))
+		if got := len(r.Live()); got != 1 {
+			t.Fatalf("live after start %d = %d, want 1", i, got)
+		}
+		rep := report(i, time.Millisecond, time.Millisecond, time.Millisecond, 0)
+		if i == 5 {
+			rep.Err = fmt.Errorf("boom")
+		}
+		r.RunEnd(rep)
+	}
+	recent := r.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d runs, want 3 (ring capacity)", len(recent))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d].ID = %d, want %d (oldest first)", i, recent[i].ID, want)
+		}
+	}
+	if last, ok := r.Last(); !ok || last.ID != 5 {
+		t.Errorf("Last = %v/%v, want run 5", last.ID, ok)
+	}
+	runs, errs := r.Totals()
+	if runs != 5 || errs != 1 {
+		t.Errorf("Totals = %d/%d, want 5/1", runs, errs)
+	}
+	if len(r.Live()) != 0 {
+		t.Errorf("live after all ends = %d, want 0", len(r.Live()))
+	}
+	if lat := r.RunLatency(); lat.N != 5 {
+		t.Errorf("run latency N = %d, want 5", lat.N)
+	}
+}
+
+func TestScalable(t *testing.T) {
+	// 8ms work, 1ms span, 4 steals at 50µs mean: burdened span 1.2ms.
+	rep := report(1, 8*time.Millisecond, time.Millisecond, 3*time.Millisecond, 4)
+	s := Scalable(rep, 4, 50*time.Microsecond)
+	if got := s.Parallelism; got < 7.99 || got > 8.01 {
+		t.Errorf("Parallelism = %v, want 8", got)
+	}
+	if s.BurdenedSpan != 1200*time.Microsecond {
+		t.Errorf("BurdenedSpan = %v, want 1.2ms", s.BurdenedSpan)
+	}
+	if got := s.BurdenedParallelism; got < 6.6 || got > 6.7 {
+		t.Errorf("BurdenedParallelism = %v, want 8/1.2 ≈ 6.67", got)
+	}
+	if got := s.Speedup; got < 2.6 || got > 2.7 {
+		t.Errorf("Speedup = %v, want 8/3 ≈ 2.67", got)
+	}
+	if len(s.Bounds) != 4 {
+		t.Fatalf("Bounds = %d entries, want 4", len(s.Bounds))
+	}
+	// The P=1 bounds are pinned by the laws; spot-check the envelope shape.
+	if s.Bounds[0].Upper != 1 {
+		t.Errorf("Bounds[1].Upper = %v, want 1", s.Bounds[0].Upper)
+	}
+	for i := 1; i < len(s.Bounds); i++ {
+		if s.Bounds[i].LowerEst < s.Bounds[i-1].LowerEst || s.Bounds[i].Upper < s.Bounds[i-1].Upper {
+			t.Errorf("bounds not monotone at P=%d", s.Bounds[i].Procs)
+		}
+		if s.Bounds[i].LowerEst > s.Bounds[i].Upper {
+			t.Errorf("lower bound above upper at P=%d", s.Bounds[i].Procs)
+		}
+	}
+	if !strings.Contains(s.Verdict, "laws hold") {
+		t.Errorf("verdict %q does not confirm the laws", s.Verdict)
+	}
+
+	// Parallelism 8 on 2 workers is ample; the verdict should say so.
+	if v := Scalable(rep, 2, 0).Verdict; !strings.Contains(v, "ample") {
+		t.Errorf("verdict on 2 workers = %q, want ample parallelism", v)
+	}
+	// A speedup beyond the worker count flags a Work Law violation.
+	fast := report(2, 8*time.Millisecond, time.Millisecond, time.Millisecond, 0)
+	if v := Scalable(fast, 2, 0).Verdict; !strings.Contains(v, "WORK-LAW") {
+		t.Errorf("verdict %q misses the work-law violation (speedup 8 on 2 workers)", v)
+	}
+	// No span data: the estimate degrades gracefully.
+	if v := Scalable(report(3, 0, 0, time.Millisecond, 0), 2, 0).Verdict; !strings.Contains(v, "no work/span") {
+		t.Errorf("verdict without data = %q", v)
+	}
+}
+
+func TestProfileSharesCilkviewMath(t *testing.T) {
+	rep := report(7, 10*time.Millisecond, 2*time.Millisecond, 5*time.Millisecond, 10)
+	p := Profile(rep, 100*time.Microsecond)
+	if p.Name != "run-7" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if p.Work != int64(10*time.Millisecond) || p.Span != int64(2*time.Millisecond) {
+		t.Errorf("Work/Span = %d/%d", p.Work, p.Span)
+	}
+	if want := int64(3 * time.Millisecond); p.BurdenedSpan != want {
+		t.Errorf("BurdenedSpan = %d, want %d (span + 10 steals × 100µs)", p.BurdenedSpan, want)
+	}
+	// The amortized per-spawn burden keeps cilkview.Render's table honest.
+	if want := int64(time.Millisecond) / 100; p.Burden != want {
+		t.Errorf("Burden = %d, want %d (1ms overhead / 100 spawns)", p.Burden, want)
+	}
+	// And the rendered profile is the offline tool's own format.
+	out := cilkview.Render(p, []int{1, 2, 4}, nil)
+	if !strings.Contains(out, "run-7") || !strings.Contains(out, "Burdened parallelism") {
+		t.Errorf("Render output missing expected sections:\n%s", out)
+	}
+}
+
+// spinLeaf burns wall clock without yielding, the deterministic "work" unit
+// of the crosscheck workloads.
+func spinLeaf(d time.Duration) {
+	for t0 := time.Now(); time.Since(t0) < d; {
+	}
+}
+
+// fibSpin is fib with a fixed spin at every node — enough real work per
+// strand that clock granularity and instrumentation overhead stay small
+// relative to the measured quantities. Spinning at internal nodes (not just
+// leaves) matters for the span comparison: the critical path is then ~n
+// spins deep, so per-strand measurement overhead is noise rather than the
+// dominant term.
+func fibSpin(c *sched.Context, n int, leaf time.Duration) int {
+	spinLeaf(leaf)
+	if n < 2 {
+		return n
+	}
+	var a int
+	c.Spawn(func(c *sched.Context) { a = fibSpin(c, n-1, leaf) })
+	b := fibSpin(c, n-2, leaf)
+	c.Sync()
+	return a + b
+}
+
+// TestOnlineMatchesOfflineCilkview is the tentpole acceptance check: the
+// online work/span measured during a (single-worker) parallel execution must
+// agree with the offline Cilkview's serial-elision measurement of the same
+// program. One worker keeps the comparison clean on any machine — the online
+// accounting is schedule-independent, and more workers than cores would
+// inflate strand wall-time with preemption, testing the OS rather than the
+// clocks. The 5%-agreement measurement on multi-core hardware is recorded in
+// EXPERIMENTS.md (experiment O2); the assertion here is looser so starved CI
+// runners don't flake.
+func TestOnlineMatchesOfflineCilkview(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	const n, leaf = 10, 300 * time.Microsecond
+	workload := func(c *sched.Context) { fibSpin(c, n, leaf) }
+
+	off, err := cilkview.Measure("fib-offline", workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(4)
+	rt := sched.New(sched.WithWorkers(1), sched.WithRunObserver(reg))
+	defer rt.Shutdown()
+	if err := rt.Run(workload); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := reg.Last()
+	if !ok {
+		t.Fatal("no run report")
+	}
+
+	workDelta := relDelta(float64(rep.Stats.Work), float64(off.Work))
+	spanDelta := relDelta(float64(rep.Stats.Span), float64(off.Span))
+	t.Logf("online:  work=%v span=%v parallelism=%.2f", rep.Stats.Work, rep.Stats.Span,
+		float64(rep.Stats.Work)/float64(rep.Stats.Span))
+	t.Logf("offline: work=%v span=%v parallelism=%.2f", time.Duration(off.Work), time.Duration(off.Span),
+		off.Parallelism())
+	t.Logf("deltas:  work %.1f%%, span %.1f%%", workDelta*100, spanDelta*100)
+	if workDelta > 0.15 {
+		t.Errorf("online work %v vs offline %v: %.1f%% apart (want ≤ 15%%)",
+			rep.Stats.Work, time.Duration(off.Work), workDelta*100)
+	}
+	if spanDelta > 0.20 {
+		t.Errorf("online span %v vs offline %v: %.1f%% apart (want ≤ 20%%)",
+			rep.Stats.Span, time.Duration(off.Span), spanDelta*100)
+	}
+}
+
+func relDelta(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := (a - b) / b
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

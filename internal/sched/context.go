@@ -30,6 +30,14 @@ type Context struct {
 	// maps to changes exactly there.
 	ckey  any
 	cview View
+
+	// Online work/span clock fields (see obs.go), used only on observed
+	// runs. strandStart is the nanots timestamp at which the current strand
+	// segment opened; spanLocal is the span accumulated along this frame's
+	// strand (segment durations plus folded child spans). Only this frame's
+	// strand touches them.
+	strandStart int64
+	spanLocal   int64
 }
 
 // Runtime returns the runtime executing this computation.
@@ -66,6 +74,11 @@ func (c *Context) Spawn(fn func(*Context)) {
 		return
 	}
 	f := c.frame
+	if cl := f.run.clock; cl != nil {
+		// Observed run: the spawn ends the current strand segment — charge
+		// it, so the child's spawnSpan below is the span at the spawn point.
+		c.charge(cl)
+	}
 	ord := f.nextOrdinal
 	f.nextOrdinal++
 	if len(c.views) > 0 {
@@ -78,6 +91,9 @@ func (c *Context) Spawn(fn func(*Context)) {
 	}
 	f.pending.Add(1)
 	child := newFrame(f, f.run, ord, f.depth+1)
+	// spanLocal is zero on unobserved runs, and pooled frames reset the
+	// field, so the store needs no clock gate.
+	child.spawnSpan = c.spanLocal
 	c.w.ws.spawns.Add(1)
 	if s := f.run.stats; s != nil {
 		s.spawns.Add(1)
@@ -134,8 +150,19 @@ func (c *Context) Call(fn func(*Context)) {
 	}
 	child := newFrame(c.frame, c.frame.run, 0, c.frame.depth+1)
 	cc := &Context{w: c.w, rt: c.rt, frame: child, views: c.views}
+	cl := c.frame.run.clock
+	if cl != nil {
+		// A called frame stays on the caller's strand: the callee's clock
+		// continues the caller's open segment and accumulated span, and the
+		// caller absorbs both back when the call returns — so the strand's
+		// span threads through the call as if it were inlined.
+		cc.strandStart, cc.spanLocal = c.strandStart, c.spanLocal
+	}
 	fn(cc)
 	cc.Sync() // implicit sync of the called frame
+	if cl != nil {
+		c.strandStart, c.spanLocal = cc.strandStart, cc.spanLocal
+	}
 	c.views = cc.views
 	c.ckey, c.cview = nil, nil
 	if h != nil {
@@ -156,7 +183,19 @@ func (c *Context) Sync() {
 		}
 		return
 	}
+	cl := c.frame.run.clock
+	if cl != nil {
+		// The sync ends the strand segment; the wait itself is excluded
+		// from both clocks (a sync edge has zero weight in the dag model —
+		// the worker may run unrelated tasks while it waits, and those
+		// charge their own runs).
+		c.charge(cl)
+	}
 	c.syncWait()
+	if cl != nil {
+		c.strandStart = c.rt.nanots()
+		c.foldSpanChildren()
+	}
 	f := c.frame
 	if n := f.pending.Load(); n < 0 && c.rt.sanChecks() {
 		c.rt.sanViolation("sync on frame depth %d observed join counter %d — a child joined twice", f.depth, n)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // task is one unit of stealable work: either a spawned function together
@@ -75,6 +76,15 @@ type frame struct {
 	// order, so two sequential loops in one sync region cannot interleave
 	// their piece deposits. Only the frame's own strand touches it.
 	nextLoopSeq int32
+
+	// Online work/span fields (see obs.go), live only on observed runs.
+	// spawnSpan is the parent's local span at the instant this frame was
+	// spawned (written by the parent's strand before the task is pushed,
+	// published by the deque's synchronization). spanChild is the max over
+	// completed children of spawnSpan_child + span_child, deposited
+	// concurrently by the children and folded by this frame's Sync.
+	spawnSpan int64
+	spanChild atomic.Int64
 }
 
 // pieceDeposit is one range piece's folded views, positioned in serial
@@ -264,6 +274,12 @@ type runState struct {
 	// the run drains are collected rather than lost.
 	panicMu sync.Mutex
 	panics  []Panic
+
+	// clock is the run's online work/span accounting (see obs.go); nil
+	// unless the runtime carries a RunObserver. start is the run's
+	// wall-clock submission time, set only when clock is armed.
+	clock *runClock
+	start time.Time
 }
 
 // runCounters are the per-computation analogue of workerStats: updated by
@@ -285,21 +301,25 @@ type runCounters struct {
 // snapshot folds the per-run counters into a Stats. StealAttempts is zero:
 // failed probes are not attributable to one computation.
 func (rs *runState) snapshot() Stats {
-	s := rs.stats
-	if s == nil {
-		return Stats{}
+	var out Stats
+	if s := rs.stats; s != nil {
+		out = Stats{
+			Spawns:        s.spawns.Load(),
+			Steals:        s.steals.Load(),
+			TasksRun:      s.tasksRun.Load(),
+			TasksSkipped:  s.tasksSkipped.Load(),
+			MaxLiveFrames: s.maxLiveFrames.Load(),
+			MaxDepth:      s.maxDepth.Load(),
+			LoopSplits:    s.loopSplits.Load(),
+			ChunksPeeled:  s.chunksPeeled.Load(),
+			RangeSteals:   s.rangeSteals.Load(),
+		}
 	}
-	return Stats{
-		Spawns:        s.spawns.Load(),
-		Steals:        s.steals.Load(),
-		TasksRun:      s.tasksRun.Load(),
-		TasksSkipped:  s.tasksSkipped.Load(),
-		MaxLiveFrames: s.maxLiveFrames.Load(),
-		MaxDepth:      s.maxDepth.Load(),
-		LoopSplits:    s.loopSplits.Load(),
-		ChunksPeeled:  s.chunksPeeled.Load(),
-		RangeSteals:   s.rangeSteals.Load(),
+	if cl := rs.clock; cl != nil {
+		out.Work = time.Duration(cl.work.Load())
+		out.Span = time.Duration(cl.span.Load())
 	}
+	return out
 }
 
 // poison quarantines a panic captured inside the computation and cancels
@@ -390,5 +410,7 @@ func freeFrame(f *frame) {
 	f.ordinal, f.nextOrdinal, f.depth = 0, 0, 0
 	f.sealed, f.childViews = nil, nil
 	f.pieces, f.nextLoopSeq = nil, 0
+	f.spawnSpan = 0
+	f.spanChild.Store(0)
 	framePool.Put(f)
 }

@@ -49,6 +49,11 @@ type loopState struct {
 	grain int
 	// body executes iterations [lo, hi) serially on the strand of c.
 	body func(c *Context, lo, hi int)
+	// spawnSpan is the loop frame's local span at the instant the loop was
+	// created (see obs.go). Stolen pieces deposit spawnSpan + their episode
+	// span into the loop frame's spanChild gauge, approximating the loop's
+	// span as its longest episode; zero on unobserved runs.
+	spawnSpan int64
 }
 
 // LoopRange executes body over the iteration range [lo, hi), chunked by
@@ -79,7 +84,12 @@ func (c *Context) LoopRange(lo, hi, grain int, body func(c *Context, lo, hi int)
 	if f.run.cancelled() {
 		return
 	}
-	ls := &loopState{frame: f, seq: f.nextLoopSeq, grain: grain, body: body}
+	if cl := f.run.clock; cl != nil {
+		// The loop is a spawn boundary for span purposes: close the segment
+		// so ls.spawnSpan below is the span at the loop's creation point.
+		c.charge(cl)
+	}
+	ls := &loopState{frame: f, seq: f.nextLoopSeq, grain: grain, body: body, spawnSpan: c.spanLocal}
 	f.nextLoopSeq++
 	f.pending.Add(1)
 	t := newRangeTask(ls, lo, hi)
@@ -233,6 +243,10 @@ func (w *worker) runPiece(t *task) {
 
 	pf := newFrame(lf, rs, 0, depth)
 	ctx := &Context{w: w, rt: w.rt, frame: pf}
+	cl := rs.clock
+	if cl != nil {
+		ctx.strandStart = w.rt.nanots()
+	}
 	consumed, held := false, false
 	func() {
 		defer func() {
@@ -251,6 +265,15 @@ func (w *worker) runPiece(t *task) {
 		ctx.Sync() // join body spawns of this episode's chunks
 	}()
 
+	if cl != nil {
+		// Close the episode's strand and deposit its span against the loop
+		// frame, keyed at the loop's creation point — the loop's span is
+		// approximated by its longest episode (the split-tree depth is not
+		// charged; DESIGN.md §4e). Ordered before the join decrements below,
+		// like every span deposit.
+		ctx.charge(cl)
+		maxStore(&lf.spanChild, ls.spawnSpan+ctx.spanLocal)
+	}
 	// Deposit before signalling the join counter: the loop's sync must not
 	// fold until every episode's views are visible.
 	lf.depositPiece(ls.seq, start, ctx.views)

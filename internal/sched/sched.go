@@ -48,6 +48,7 @@ type config struct {
 	trace       bool
 	traceOpts   []TraceOption
 	sanitize    *schedsan.Options
+	observer    RunObserver
 }
 
 // Option configures a Runtime.
@@ -147,6 +148,12 @@ type Runtime struct {
 	san    *sanState
 	stalls atomic.Int64
 
+	// Observation layer (see obs.go). obsEpoch anchors the nanots monotonic
+	// timestamps the online work/span clocks use; obsH holds the live
+	// latency histograms, nil unless a RunObserver is installed.
+	obsEpoch time.Time
+	obsH     *obsHist
+
 	// parked counts workers blocked on cond in the park phase of their
 	// hunt. Producers (Spawn pushes, batch-steal extras) read it to decide
 	// whether a wakeup is needed; with no one parked, publishing work costs
@@ -188,10 +195,13 @@ func New(opts ...Option) *Runtime {
 	if cfg.serial {
 		cfg.workers = 1
 	}
-	rt := &Runtime{cfg: cfg, active: make(map[*runState]struct{})}
+	rt := &Runtime{cfg: cfg, active: make(map[*runState]struct{}), obsEpoch: time.Now()}
 	rt.cond = sync.NewCond(&rt.mu)
 	if cfg.serial {
 		return rt
+	}
+	if cfg.observer != nil {
+		rt.obsH = newObsHist()
 	}
 	if cfg.trace {
 		rt.tracer = trace.New(cfg.workers, cfg.traceOpts...)
@@ -266,14 +276,33 @@ func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stat
 		return Stats{}, mapCtxErr(err)
 	}
 	rs := &runState{id: rt.runIDs.Add(1), rt: rt, done: make(chan struct{})}
-	if track {
+	obs := rt.cfg.observer
+	if track || obs != nil {
+		// Observation implies per-run accounting: the observer's report
+		// carries the run's Stats (spawns, steals, …) alongside work/span.
 		rs.stats = &runCounters{}
+	}
+	if obs != nil {
+		rs.clock = &runClock{}
+		rs.start = time.Now()
+		obs.RunStart(rs.id, rs.start)
 	}
 	if rt.cfg.serial {
 		stop := rs.watch(ctx)
-		defer stop()
 		err := rt.runSerial(fn, rs)
-		return rs.snapshot(), err
+		stop()
+		if cl := rs.clock; cl != nil {
+			// The serial elision is one strand: work and span are both its
+			// wall-clock duration (T1 = T∞ by definition).
+			d := int64(time.Since(rs.start))
+			cl.work.Store(d)
+			cl.span.Store(d)
+		}
+		snap := rs.snapshot()
+		if obs != nil {
+			obs.RunEnd(RunReport{ID: rs.id, Start: rs.start, End: time.Now(), Stats: snap, Err: err})
+		}
+		return snap, err
 	}
 	root := newFrame(nil, rs, 0, 0)
 	t := newTask(fn, root)
@@ -283,6 +312,9 @@ func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stat
 		rt.mu.Unlock()
 		freeTask(t)
 		freeFrame(root)
+		if obs != nil {
+			obs.RunEnd(RunReport{ID: rs.id, Start: rs.start, End: time.Now(), Err: ErrShutdown})
+		}
 		return Stats{}, ErrShutdown
 	}
 	rt.activeRoots++
@@ -302,7 +334,11 @@ func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stat
 	<-rs.done
 	stop()
 	rt.sanRunQuiescence(rs)
-	return rs.snapshot(), rs.err()
+	snap, err := rs.snapshot(), rs.err()
+	if obs != nil {
+		obs.RunEnd(RunReport{ID: rs.id, Start: rs.start, End: time.Now(), Stats: snap, Err: err})
+	}
+	return snap, err
 }
 
 // runSerial executes fn's serial elision on the caller's goroutine.
@@ -405,8 +441,11 @@ type worker struct {
 	rec *trace.Recorder
 	// hunting is true while the worker is between running out of work and
 	// finding the next task, bracketing the trace's idle slices. Only the
-	// worker's own goroutine touches it.
-	hunting bool
+	// worker's own goroutine touches it. huntStart is the nanots timestamp
+	// of the current hunt's start, recorded only while the runtime carries
+	// an observer — a successful steal observes hunt-to-steal latency.
+	hunting   bool
+	huntStart int64
 	// lastVictim is the id of the worker the last successful steal came
 	// from, or -1. A victim that had surplus work once likely still has
 	// more (Suksompong et al., "On the Efficiency of Localized Work
@@ -463,6 +502,9 @@ func (w *worker) loop() {
 		}
 		if !w.hunting {
 			w.hunting = true
+			if w.rt.obsH != nil {
+				w.huntStart = w.rt.nanots()
+			}
 			w.rec.IdleEnter()
 		}
 		fails++
@@ -563,6 +605,12 @@ func (w *worker) stealFrom(victim *worker) *task {
 		}
 	}
 	w.ws.steals.Add(1)
+	if h := w.rt.obsH; h != nil && w.hunting {
+		// Hunt-to-steal latency: how long this worker went without work
+		// before the steal landed. Steals from syncWait (not hunting) are
+		// excluded — the worker was never idle.
+		h.steal.Observe(time.Duration(w.rt.nanots() - w.huntStart))
+	}
 	rf := t.frame
 	if t.loop != nil {
 		rf = t.loop.frame
@@ -668,9 +716,16 @@ func (w *worker) park() bool {
 		if w.watch {
 			w.state.Store(stateParked)
 		}
+		var parkT0 int64
+		if rt.obsH != nil {
+			parkT0 = rt.nanots()
+		}
 		w.rec.Park()
 		rt.cond.Wait()
 		w.rec.Unpark()
+		if h := rt.obsH; h != nil {
+			h.parkWake.Observe(time.Duration(rt.nanots() - parkT0))
+		}
 		if w.watch {
 			w.state.Store(stateHunting)
 		}
@@ -712,6 +767,10 @@ func (w *worker) runTask(t *task) {
 	w.rec.TaskStart(f.depth, rs.id)
 
 	ctx := &Context{w: w, rt: w.rt, frame: f}
+	cl := rs.clock
+	if cl != nil {
+		ctx.strandStart = w.rt.nanots()
+	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -723,6 +782,16 @@ func (w *worker) runTask(t *task) {
 		fn(ctx)
 		ctx.Sync() // implicit sync before return (§1)
 	}()
+
+	if cl != nil {
+		// Close the frame's final strand segment and publish its span. The
+		// deposit happens strictly before the join-counter decrement below,
+		// so a parent folding after the join observes it; for the root, the
+		// store precedes rs.finish()'s done-channel close, which publishes
+		// the span to the Run caller.
+		ctx.charge(cl)
+		ctx.depositSpan(cl)
+	}
 
 	if p := f.parent; p != nil {
 		if len(ctx.views) > 0 {

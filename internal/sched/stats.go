@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // workerStats are per-worker counters. Each is written only by its owning
@@ -93,6 +94,14 @@ type Stats struct {
 	// stall watchdog (see schedsan.Options.StallAfter). Always zero on a
 	// runtime built without WithSanitize or without a watchdog threshold.
 	Stalls int64
+	// Work and Span are the run's online work (T1) and span (T∞), measured
+	// during the parallel execution itself by per-strand clocks aggregated
+	// at spawn/sync boundaries (see obs.go). Populated only in the Stats of
+	// an observed run (WithRunObserver) — zero otherwise, and always zero in
+	// the runtime-wide aggregate Stats(), which spans many runs. Work/Span
+	// is the run's measured parallelism (the online Cilkview estimate).
+	Work time.Duration
+	Span time.Duration
 }
 
 // Stats aggregates the per-worker counters. Counters of computations still
@@ -140,6 +149,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.ChunksPeeled -= prev.ChunksPeeled
 	s.RangeSteals -= prev.RangeSteals
 	s.Stalls -= prev.Stalls
+	s.Work -= prev.Work
+	s.Span -= prev.Span
 	return s
 }
 

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the histogram layer shared by the offline profile
+// (BuildProfile's steal-latency distribution) and the online observability
+// path (internal/sched's live steal-latency / park-to-wake histograms and
+// internal/obs's run-latency histogram, all exported through /metrics).
+//
+// Buckets are log-spaced: each octave of the covered range is divided into
+// a fixed number of geometrically spaced sub-buckets, so one histogram
+// resolves both a 2µs steal and a 2s run with constant relative error —
+// the property the old fixed 1µs..8ms power-of-two ladder lacked at the
+// tails, where every slow event collapsed into the overflow bucket.
+
+// LogBounds returns exclusive upper bounds covering [lo, hi] with perOctave
+// geometrically spaced buckets per doubling. Values at or above the last
+// bound belong in an overflow bucket the caller appends.
+func LogBounds(lo, hi time.Duration, perOctave int) []time.Duration {
+	if lo < 1 {
+		lo = 1
+	}
+	if perOctave < 1 {
+		perOctave = 1
+	}
+	ratio := math.Pow(2, 1/float64(perOctave))
+	var bounds []time.Duration
+	b := float64(lo)
+	for {
+		d := time.Duration(math.Round(b))
+		if len(bounds) == 0 || d > bounds[len(bounds)-1] {
+			bounds = append(bounds, d)
+		}
+		if d >= hi {
+			return bounds
+		}
+		b *= ratio
+	}
+}
+
+// defaultLatencyBounds covers 1µs..16s with two buckets per octave (≤41%
+// relative bucket width) — wide enough that a multi-second run latency and
+// a microsecond steal latency both land in real buckets.
+func defaultLatencyBounds() []time.Duration {
+	return LogBounds(time.Microsecond, 16*time.Second, 2)
+}
+
+// Histogram is a latency histogram with log-spaced buckets (see LogBounds).
+type Histogram struct {
+	// Bounds[i] is the exclusive upper bound of bucket i; values at or
+	// above the last bound land in the overflow bucket Counts[len(Bounds)].
+	Bounds []time.Duration
+	Counts []int64
+	N      int64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// NewHistogram returns an empty histogram over the given bucket bounds
+// (nil means the default 1µs..16s latency ladder).
+func NewHistogram(bounds []time.Duration) Histogram {
+	if bounds == nil {
+		bounds = defaultLatencyBounds()
+	}
+	return Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+func newLatencyHist() Histogram { return NewHistogram(nil) }
+
+// bucketOf returns the index of the bucket d falls in: the first bound
+// greater than d, or the overflow bucket.
+func bucketOf(bounds []time.Duration, d time.Duration) int {
+	return sort.Search(len(bounds), func(i int) bool { return d < bounds[i] })
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.N++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Counts[bucketOf(h.Bounds, d)]++
+}
+
+// add is the pre-export spelling of Observe, kept for BuildProfile.
+func (h *Histogram) add(d time.Duration) { h.Observe(d) }
+
+// Mean returns the mean recorded latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.N)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket holding the q·N-th sample. The overflow
+// bucket interpolates between the last bound and the observed Max, and the
+// estimate is clamped to Max, so Quantile(1) == Max exactly.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.N)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(h.Counts)-1 {
+			var lo, hi time.Duration
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if i < len(h.Bounds) {
+				hi = h.Bounds[i]
+			} else {
+				hi = h.Max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			est := lo + time.Duration(frac*float64(hi-lo))
+			if est > h.Max {
+				est = h.Max
+			}
+			return est
+		}
+		cum = next
+	}
+	return h.Max
+}
+
+// LiveHistogram is the concurrent counterpart of Histogram: many goroutines
+// may Observe while others Snapshot. Buckets are atomic counters; Snapshot
+// reads them without stopping writers, so a snapshot taken mid-Observe can
+// be off by the in-flight sample — fine for metrics, where the next scrape
+// catches up.
+type LiveHistogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewLiveHistogram returns an empty concurrent histogram over the given
+// bounds (nil means the default 1µs..16s latency ladder).
+func NewLiveHistogram(bounds []time.Duration) *LiveHistogram {
+	if bounds == nil {
+		bounds = defaultLatencyBounds()
+	}
+	return &LiveHistogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one latency sample. Safe for concurrent use.
+func (h *LiveHistogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(h.bounds, d)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Snapshot returns the histogram's current contents as a plain Histogram.
+func (h *LiveHistogram) Snapshot() Histogram {
+	s := Histogram{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		N:      h.n.Load(),
+		Sum:    time.Duration(h.sum.Load()),
+		Max:    time.Duration(h.max.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogBounds(t *testing.T) {
+	b := LogBounds(time.Microsecond, 16*time.Second, 2)
+	if b[0] != time.Microsecond {
+		t.Errorf("first bound = %v, want 1µs", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v then %v", i, b[i-1], b[i])
+		}
+		// Two buckets per octave: successive bounds grow by at most √2 (plus
+		// a nanosecond of rounding).
+		if ratio := float64(b[i]) / float64(b[i-1]); ratio > 1.5 {
+			t.Errorf("bucket %d too wide: %v → %v (ratio %.2f)", i, b[i-1], b[i], ratio)
+		}
+	}
+	if last := b[len(b)-1]; last < 16*time.Second {
+		t.Errorf("last bound %v does not cover 16s", last)
+	}
+	// Degenerate parameters are clamped, not fatal.
+	if got := LogBounds(0, 10, 0); len(got) == 0 {
+		t.Error("LogBounds(0, 10, 0) returned no bounds")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	// 100 samples, 1ms..100ms: quantiles should land within a bucket's
+	// relative error (≤41% for the 2-per-octave default ladder) of exact.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	checks := []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo, hi := c.exact*55/100, c.exact*145/100
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v] of exact %v", c.q, got, lo, hi, c.exact)
+		}
+	}
+	if got := h.Quantile(1); got != h.Max {
+		t.Errorf("Quantile(1) = %v, want Max %v", got, h.Max)
+	}
+	if got := h.Quantile(0); got > h.Bounds[bucketOf(h.Bounds, time.Millisecond)] {
+		t.Errorf("Quantile(0) = %v, beyond the first occupied bucket", got)
+	}
+	if mean := h.Mean(); mean != 50*time.Millisecond+500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", mean)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(LogBounds(time.Microsecond, time.Millisecond, 2))
+	h.Observe(30 * time.Second) // far beyond the last bound
+	h.Observe(40 * time.Second)
+	if h.Counts[len(h.Counts)-1] != 2 {
+		t.Fatalf("overflow bucket count = %d, want 2", h.Counts[len(h.Counts)-1])
+	}
+	// The overflow bucket interpolates toward Max and clamps there.
+	if got := h.Quantile(1); got != 40*time.Second {
+		t.Errorf("Quantile(1) = %v, want Max 40s", got)
+	}
+	if got := h.Quantile(0.99); got > 40*time.Second {
+		t.Errorf("Quantile(0.99) = %v exceeds Max", got)
+	}
+}
+
+func TestLiveHistogramConcurrent(t *testing.T) {
+	h := NewLiveHistogram(nil)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.N != goroutines*per {
+		t.Errorf("N = %d, want %d", s.N, goroutines*per)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.N {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.N)
+	}
+	if want := time.Duration(goroutines*per-1) * time.Microsecond; s.Max != want {
+		t.Errorf("Max = %v, want %v", s.Max, want)
+	}
+	// A nil LiveHistogram swallows observations (the scheduler relies on it).
+	var nilH *LiveHistogram
+	nilH.Observe(time.Second)
+}
+
+func TestLiveHistogramNegativeClamped(t *testing.T) {
+	h := NewLiveHistogram(nil)
+	h.Observe(-time.Second) // clock anomalies must not corrupt the histogram
+	s := h.Snapshot()
+	if s.N != 1 || s.Sum != 0 || s.Counts[0] != 1 {
+		t.Errorf("negative observation: N=%d Sum=%v Counts[0]=%d, want 1/0/1", s.N, s.Sum, s.Counts[0])
+	}
+}

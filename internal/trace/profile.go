@@ -34,48 +34,6 @@ type WorkerProfile struct {
 	MaxLiveFrames int64
 }
 
-// Histogram is a latency histogram with power-of-two microsecond buckets.
-type Histogram struct {
-	// Bounds[i] is the exclusive upper bound of bucket i; values at or
-	// above the last bound land in the overflow bucket Counts[len(Bounds)].
-	Bounds []time.Duration
-	Counts []int64
-	N      int64
-	Sum    time.Duration
-	Max    time.Duration
-}
-
-func newLatencyHist() Histogram {
-	bounds := make([]time.Duration, 0, 14)
-	for b := time.Microsecond; b <= 8*time.Millisecond; b *= 2 {
-		bounds = append(bounds, b)
-	}
-	return Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
-}
-
-func (h *Histogram) add(d time.Duration) {
-	h.N++
-	h.Sum += d
-	if d > h.Max {
-		h.Max = d
-	}
-	for i, b := range h.Bounds {
-		if d < b {
-			h.Counts[i]++
-			return
-		}
-	}
-	h.Counts[len(h.Bounds)]++
-}
-
-// Mean returns the mean recorded latency.
-func (h *Histogram) Mean() time.Duration {
-	if h.N == 0 {
-		return 0
-	}
-	return h.Sum / time.Duration(h.N)
-}
-
 // Profile is the derived view of a Trace: where each worker's time went,
 // aggregate utilization over time, steal latencies, and the live-frames
 // high-water series.
@@ -508,7 +466,12 @@ func (p *Profile) Render() string {
 	h := &p.StealLatency
 	fmt.Fprintf(&sb, "\nsteal latency (first probe → successful steal): %d steals", h.N)
 	if h.N > 0 {
-		fmt.Fprintf(&sb, ", mean %v, max %v\n", h.Mean().Round(time.Nanosecond*10), h.Max.Round(time.Nanosecond*10))
+		fmt.Fprintf(&sb, ", mean %v, p50 %v, p95 %v, p99 %v, max %v\n",
+			h.Mean().Round(time.Nanosecond*10),
+			h.Quantile(0.50).Round(time.Nanosecond*10),
+			h.Quantile(0.95).Round(time.Nanosecond*10),
+			h.Quantile(0.99).Round(time.Nanosecond*10),
+			h.Max.Round(time.Nanosecond*10))
 		maxCount := int64(0)
 		for _, c := range h.Counts {
 			if c > maxCount {

@@ -27,6 +27,7 @@ package trace
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -155,6 +156,8 @@ type Tracer struct {
 	started  time.Time
 	enabled  atomic.Bool
 	recs     []*Recorder
+	// capMu serializes Capture calls (see Capture).
+	capMu sync.Mutex
 }
 
 // New creates a tracer with one recorder per worker, initially disabled.
@@ -228,6 +231,25 @@ func (t *Tracer) Stop() *Trace {
 		tr.Workers[i] = events
 	}
 	return tr
+}
+
+// Capture records for the given duration and returns the drained window:
+// Start, sleep, Stop. It is the capture-on-demand primitive behind the
+// /debug/cilk/trace endpoint — a live server can hand out a bounded trace
+// without anyone bracketing Start/Stop by hand. A capture resets any
+// recording window already in progress (Start clears the rings) and leaves
+// the tracer stopped. Concurrent captures are serialized by capMu so two
+// simultaneous requests cannot clear each other's windows mid-capture; the
+// second caller simply records its own window after the first finishes.
+func (t *Tracer) Capture(d time.Duration) *Trace {
+	t.capMu.Lock()
+	defer t.capMu.Unlock()
+	if t.enabled.Load() {
+		t.Stop() // discard the in-progress window, quiescing recorders
+	}
+	t.Start()
+	time.Sleep(d)
+	return t.Stop()
 }
 
 // Recorder is one worker's private event ring. Only the owning worker
