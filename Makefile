@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs stress-deque fuzz-sched fuzz-sched-long clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve stress-deque fuzz-sched fuzz-sched-long clean
 
 all: build vet test
 
@@ -74,6 +74,33 @@ bench-obs:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_obs.json
 
+# Serving-latency gate: boot examples/serve with the demo tenant→class map
+# and admission armed, sweep best-effort load 1×→10× with cmd/cilkload's
+# open-loop Poisson generator, and record per-tenant latency percentiles into
+# BENCH_serve.json. Gates twice: cilkload itself fails if interactive p99
+# degraded more than 2× across the sweep (the DRR starvation-resistance
+# claim — a within-run ratio, so machine-speed noise cancels), and benchjson
+# -serve fails on a p99 regression vs. the committed
+# bench_serve_baseline.json (absent baseline = pass-through, so the first
+# run mints it). The benchjson default budget is 10%, but absolute tail
+# percentiles on shared runners swing far wider than ratios do, so this
+# recipe passes -maxp99 60 and the committed baseline is the per-series
+# worst of three mint runs; the exact per-series delta is recorded in
+# BENCH_serve.json either way.
+SERVE_ADDR ?= 127.0.0.1:18080
+bench-serve:
+	$(GO) build -o /tmp/cilk-serve ./examples/serve
+	/tmp/cilk-serve -addr $(SERVE_ADDR) \
+		-tenantclass 'pro=interactive,free=best-effort' -quota 'free=16' & \
+	pid=$$!; sleep 1; \
+	$(GO) run ./cmd/cilkload -url http://$(SERVE_ADDR) \
+		-tenants 'pro:interactive:10:/sinsum?n=800000,free:best-effort:50:/sinsum?n=100000' \
+		-sweep 1,2,5,10 -dur 3s -maxdegrade 2.0 -seed 1 > /tmp/cilkload_serve.json; \
+	load=$$?; kill $$pid 2>/dev/null; \
+	$(GO) run ./cmd/benchjson -serve -maxp99 60 -baseline bench_serve_baseline.json \
+		< /tmp/cilkload_serve.json > BENCH_serve.json; \
+	status=$$?; if [ $$load -ne 0 ]; then exit $$load; fi; exit $$status
+
 # Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
 # steal-path and lazy-loop exactly-once tests — and the fault-injected Gate/San
 # suites (forced claim/CAS failures, stretched claim windows, seeded fault
@@ -96,4 +123,4 @@ fuzz-sched-long:
 	$(GO) run ./cmd/schedfuzz -trials 20000 -seed $(FUZZ_SEED) -stall 5s
 
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json BENCH_serve.json trace.json

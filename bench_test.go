@@ -110,7 +110,7 @@ func BenchmarkE3SerialOverhead(b *testing.B) {
 	}
 	var rows []row
 	measure := func(name string, serial func(), parallel func(rt *cilkgo.Runtime)) {
-		rt := cilkgo.New(cilkgo.Workers(1))
+		rt := cilkgo.New(cilkgo.WithWorkers(1))
 		defer rt.Shutdown()
 		// Warm up once, then time the better of 3 runs of each.
 		serialT, parT := time.Duration(1<<62), time.Duration(1<<62)

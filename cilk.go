@@ -47,6 +47,7 @@ import (
 	"expvar"
 	"io"
 	"net/http"
+	"time"
 
 	"cilkgo/internal/obs"
 	"cilkgo/internal/pfor"
@@ -175,34 +176,90 @@ func WithSanitize(o SanitizeOptions) Option { return sched.WithSanitize(o) }
 // seed, as the schedule fuzzer does: same seed, same plan, same faults.
 func RandomFaultPlan(seed int64) SanitizePlan { return schedsan.RandomPlan(seed) }
 
-// Deprecated option aliases: the pre-redesign names, kept so existing
-// callers keep compiling. New code should use the uniform With-prefixed
-// forms above.
-
-// Workers sets the number of workers.
+// Serving layer (see Runtime.Submit in internal/sched): the canonical
+// submission API plus its per-run options, QoS classes, admission control,
+// and load reporting. Submit subsumes the four legacy Run entry points —
+// Run/RunCtx/RunWithStats/RunWithStatsCtx remain as deprecated wrappers.
 //
-// Deprecated: use WithWorkers.
-func Workers(n int) Option { return sched.WithWorkers(n) }
+//	tk, err := rt.Submit(ctx, fn,
+//		cilkgo.WithTenant("acme"), cilkgo.WithQoS(cilkgo.QoSInteractive),
+//		cilkgo.WithStats(), cilkgo.WithTimeBudget(200*time.Millisecond))
+//	if err != nil { /* ErrAdmission / ErrQuota / ErrShutdown: shed load */ }
+//	err = tk.Wait()
+//	st := tk.Stats()
+type (
+	// Ticket is the handle to one submitted computation: await it with
+	// Wait/Done, then read Err, Stats, and QueueLatency.
+	Ticket = sched.Ticket
+	// RunOption configures one Submit call (WithStats, WithQoS, WithTenant,
+	// WithPriority, WithTimeBudget, WithMemoryBudget).
+	RunOption = sched.RunOption
+	// QoSClass is a submission's quality-of-service class; it sets the
+	// weighted-fair rate its root is picked up at under backlog.
+	QoSClass = sched.QoSClass
+	// AdmissionConfig arms admission control (WithAdmission): global
+	// queue/run/memory limits plus per-tenant Quotas.
+	AdmissionConfig = sched.AdmissionConfig
+	// Quota bounds one tenant's queued roots, in-flight runs, and declared
+	// memory.
+	Quota = sched.Quota
+	// LoadReport is Runtime.LoadReport's backpressure snapshot: queue depths
+	// by QoS class, running roots, parked workers, admission counters, and
+	// per-tenant load.
+	LoadReport = sched.LoadReport
+	// TenantLoad is one tenant's slice of a LoadReport.
+	TenantLoad = sched.TenantLoad
+)
 
-// SerialElision selects serial-elision execution.
-//
-// Deprecated: use WithSerialElision.
-func SerialElision() Option { return sched.WithSerialElision() }
+// QoS classes, in decreasing pickup weight (8:4:1 under backlog).
+const (
+	QoSInteractive = sched.QoSInteractive
+	QoSBatch       = sched.QoSBatch
+	QoSBestEffort  = sched.QoSBestEffort
+)
 
-// StealSeed makes the schedule's random victim selection reproducible.
-//
-// Deprecated: use WithStealSeed.
-func StealSeed(seed int64) Option { return sched.WithStealSeed(seed) }
+// Admission sentinels returned by Runtime.Submit (match with errors.Is).
+var (
+	// ErrAdmission reports the runtime as a whole is at capacity.
+	ErrAdmission = sched.ErrAdmission
+	// ErrQuota reports the submitting tenant is over its own quota.
+	ErrQuota = sched.ErrQuota
+)
 
-// Tracing equips the runtime with per-worker event tracing.
-//
-// Deprecated: use WithTracing.
-func Tracing(opts ...sched.TraceOption) Option { return sched.WithTracing(opts...) }
+// ParseQoS maps a class name ("interactive", "batch", "best-effort") to its
+// QoSClass; the second result reports whether the name was recognized.
+func ParseQoS(s string) (QoSClass, bool) { return sched.ParseQoS(s) }
 
-// TraceCapacity sets the per-worker trace ring-buffer capacity.
-//
-// Deprecated: use WithTraceCapacity.
-func TraceCapacity(events int) sched.TraceOption { return trace.Capacity(events) }
+// WithStats arms per-computation accounting: the Ticket's Stats covers
+// exactly this computation.
+func WithStats() RunOption { return sched.WithStats() }
+
+// WithQoS assigns the run's QoS class (default QoSBatch).
+func WithQoS(q QoSClass) RunOption { return sched.WithQoS(q) }
+
+// WithTenant labels the run with a tenant identity for quotas, lane
+// affinity, and per-tenant accounting.
+func WithTenant(name string) RunOption { return sched.WithTenant(name) }
+
+// WithPriority orders the run's root within its QoS class's queue (higher
+// first; default 0).
+func WithPriority(p int) RunOption { return sched.WithPriority(p) }
+
+// WithTimeBudget bounds the run's wall-clock lifetime, queueing included;
+// past it the Ticket reports ErrDeadlineExceeded.
+func WithTimeBudget(d time.Duration) RunOption { return sched.WithTimeBudget(d) }
+
+// WithMemoryBudget declares the run's estimated peak memory use, charged
+// against admission MaxMemory limits for the run's lifetime.
+func WithMemoryBudget(bytes int64) RunOption { return sched.WithMemoryBudget(bytes) }
+
+// WithAdmission arms admission control: Submit rejects with ErrAdmission /
+// ErrQuota instead of queueing unboundedly.
+func WithAdmission(cfg AdmissionConfig) Option { return sched.WithAdmission(cfg) }
+
+// WithLegacyInject reverts root injection to the pre-sharding single FIFO
+// (blind to QoS and priority) — the A/B baseline for the serving benchmarks.
+func WithLegacyInject() Option { return sched.WithLegacyInject() }
 
 // WriteChromeTrace writes a drained trace as Chrome trace-event JSON, one
 // track per worker, viewable in Perfetto or chrome://tracing.

@@ -1,0 +1,357 @@
+// Cilkload is the serving-layer load harness: an open-loop Poisson load
+// generator aimed at examples/serve, sweeping best-effort load while
+// measuring per-tenant latency percentiles — the measurement behind the
+// claim that sharded weighted injection keeps interactive p99 flat while a
+// best-effort flood grows (DESIGN.md §4f).
+//
+// Open-loop matters: each tenant's arrivals follow an exponential
+// inter-arrival clock that does not wait for responses, so a slow server
+// faces a growing backlog exactly as a real ingress would (closed-loop
+// generators co-ordinate with the victim and hide queueing collapse).
+//
+// Each sweep step multiplies the best-effort tenants' arrival rates by the
+// next -sweep factor while interactive/batch tenants stay at their base
+// rate. Per step and tenant, cilkload records sent/ok/rejected/error counts
+// and ok-response latency percentiles; the summary compares the interactive
+// p99 at the last step against the first:
+//
+//	go run ./cmd/cilkload -url http://127.0.0.1:8080 \
+//	    -tenants 'pro:interactive:50,free:best-effort:100' \
+//	    -sweep 1,2,5,10 -dur 3s -maxdegrade 2.0
+//
+// With -maxdegrade R the exit status is 1 when interactive p99 degraded by
+// more than R× across the sweep — the self-gating mode `make bench-serve`
+// runs in. Output is JSON (see cmd/benchjson -serve for the diffing side).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+var (
+	baseURL = flag.String("url", "http://127.0.0.1:8080", "base URL of the serve instance")
+	path    = flag.String("path", "/sinsum?n=20000", "request path (with workload query)")
+	tenants = flag.String("tenants", "pro:interactive:50,free:best-effort:100",
+		"comma-separated tenant:class:rate_rps[:path] load specs; class is the class the server maps the tenant to (interactive/batch/best-effort) and decides whether -sweep multiplies the rate; the optional path overrides -path for that tenant")
+	sweep      = flag.String("sweep", "1,2,5,10", "comma-separated best-effort rate multipliers, one sweep step each")
+	dur        = flag.Duration("dur", 3*time.Second, "duration of each sweep step")
+	settle     = flag.Duration("settle", 300*time.Millisecond, "pause between sweep steps (lets queues drain)")
+	timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	seed       = flag.Int64("seed", 1, "RNG seed for the Poisson arrival clocks")
+	maxDegrade = flag.Float64("maxdegrade", 0, "fail (exit 1) if interactive p99 at the last step exceeds this multiple of the first step (0 = report only)")
+	out        = flag.String("o", "", "output file (default stdout)")
+)
+
+// tenantSpec is one -tenants entry.
+type tenantSpec struct {
+	Tenant string
+	Class  string
+	Rate   float64 // base arrivals per second
+	Path   string  // per-tenant path override ("" = use -path)
+}
+
+func parseTenants(spec string) ([]tenantSpec, error) {
+	var specs []tenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 4)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("bad tenant spec %q (want tenant:class:rate[:path])", part)
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("bad rate in %q", part)
+		}
+		switch fields[1] {
+		case "interactive", "batch", "best-effort":
+		default:
+			return nil, fmt.Errorf("unknown class %q in %q", fields[1], part)
+		}
+		ts := tenantSpec{Tenant: fields[0], Class: fields[1], Rate: rate}
+		if len(fields) == 4 {
+			ts.Path = fields[3]
+		}
+		specs = append(specs, ts)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no tenants")
+	}
+	return specs, nil
+}
+
+func parseSweep(spec string) ([]float64, error) {
+	var mults []float64
+	for _, part := range strings.Split(spec, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || m <= 0 {
+			return nil, fmt.Errorf("bad multiplier %q", part)
+		}
+		mults = append(mults, m)
+	}
+	if len(mults) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return mults, nil
+}
+
+// tenantResult is one tenant's measurement at one sweep step.
+type tenantResult struct {
+	Tenant  string  `json:"tenant"`
+	Class   string  `json:"class"`
+	RateRPS float64 `json:"rate_rps"`
+	Sent    int     `json:"sent"`
+	OK      int     `json:"ok"`
+	// Rejected counts admission shedding (HTTP 429/503); Errors is
+	// everything else that wasn't a 200.
+	Rejected int           `json:"rejected"`
+	Errors   int           `json:"errors"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+}
+
+type step struct {
+	Multiplier float64        `json:"multiplier"`
+	Tenants    []tenantResult `json:"tenants"`
+}
+
+// series is the flat name → percentiles view of the sweep, the shape
+// cmd/benchjson -serve diffs across commits ("tenant@x<multiplier>").
+type series struct {
+	Name string        `json:"name"`
+	P50  time.Duration `json:"p50_ns"`
+	P95  time.Duration `json:"p95_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	// Filled by benchjson -serve -baseline.
+	BaselineP99 time.Duration `json:"baseline_p99_ns,omitempty"`
+	P99DeltaPct float64       `json:"p99_delta_pct,omitempty"`
+}
+
+type degrade struct {
+	Tenant   string        `json:"tenant"`
+	P99First time.Duration `json:"p99_first_ns"`
+	P99Last  time.Duration `json:"p99_last_ns"`
+	Ratio    float64       `json:"ratio"`
+}
+
+type report struct {
+	URL     string    `json:"url"`
+	Path    string    `json:"path"`
+	Sweep   []float64 `json:"sweep"`
+	StepDur string    `json:"step_dur"`
+	Steps   []step    `json:"steps"`
+	Series  []series  `json:"series"`
+	// Degrade summarizes each interactive tenant's p99 at the last sweep
+	// step relative to the first — the starvation-resistance headline.
+	Degrade []degrade `json:"degrade,omitempty"`
+}
+
+// collector gathers one tenant's responses during one step.
+type collector struct {
+	mu       sync.Mutex
+	sent     int
+	ok       int
+	rejected int
+	errors   int
+	lats     []time.Duration
+}
+
+func (c *collector) record(lat time.Duration, status int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err != nil:
+		c.errors++
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		c.rejected++
+	case status == http.StatusOK:
+		c.ok++
+		c.lats = append(c.lats, lat)
+	default:
+		c.errors++
+	}
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// fire launches one tenant's open-loop Poisson arrivals for one step and
+// blocks until the step window closes and every in-flight request returned.
+func fire(client *http.Client, url, tenant string, rate float64, stepDur time.Duration, rng *rand.Rand, col *collector) {
+	var wg sync.WaitGroup
+	end := time.Now().Add(stepDur)
+	next := time.Now()
+	for {
+		// Exponential inter-arrival at λ = rate: the open-loop clock
+		// advances regardless of how the server is doing.
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if next.After(end) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		col.mu.Lock()
+		col.sent++
+		col.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest("GET", url, nil)
+			if err != nil {
+				col.record(0, 0, err)
+				return
+			}
+			if tenant != "" {
+				req.Header.Set("X-Tenant", tenant)
+			}
+			start := time.Now()
+			resp, err := client.Do(req)
+			lat := time.Since(start)
+			if err != nil {
+				col.record(lat, 0, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			col.record(lat, resp.StatusCode, nil)
+		}()
+	}
+	wg.Wait()
+}
+
+func main() {
+	flag.Parse()
+	specs, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cilkload:", err)
+		os.Exit(2)
+	}
+	mults, err := parseSweep(*sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cilkload:", err)
+		os.Exit(2)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+	base := strings.TrimRight(*baseURL, "/")
+
+	rep := report{URL: *baseURL, Path: *path, Sweep: mults, StepDur: dur.String()}
+	for stepIdx, mult := range mults {
+		st := step{Multiplier: mult}
+		cols := make([]*collector, len(specs))
+		var wg sync.WaitGroup
+		for i, sp := range specs {
+			rate := sp.Rate
+			if sp.Class == "best-effort" {
+				rate *= mult
+			}
+			cols[i] = &collector{}
+			// Per-tenant, per-step derived seed keeps every arrival clock
+			// deterministic and independent.
+			rng := rand.New(rand.NewSource(*seed + int64(stepIdx)*1000 + int64(i)))
+			url := base + *path
+			if sp.Path != "" {
+				url = base + sp.Path
+			}
+			wg.Add(1)
+			go func(url string, sp tenantSpec, rate float64, col *collector, rng *rand.Rand) {
+				defer wg.Done()
+				fire(client, url, sp.Tenant, rate, *dur, rng, col)
+			}(url, sp, rate, cols[i], rng)
+		}
+		wg.Wait()
+		for i, sp := range specs {
+			col := cols[i]
+			sort.Slice(col.lats, func(a, b int) bool { return col.lats[a] < col.lats[b] })
+			rate := sp.Rate
+			if sp.Class == "best-effort" {
+				rate *= mult
+			}
+			tr := tenantResult{
+				Tenant: sp.Tenant, Class: sp.Class, RateRPS: rate,
+				Sent: col.sent, OK: col.ok, Rejected: col.rejected, Errors: col.errors,
+				P50: percentile(col.lats, 0.50),
+				P95: percentile(col.lats, 0.95),
+				P99: percentile(col.lats, 0.99),
+			}
+			st.Tenants = append(st.Tenants, tr)
+			rep.Series = append(rep.Series, series{
+				Name: fmt.Sprintf("%s@x%g", sp.Tenant, mult),
+				P50:  tr.P50, P95: tr.P95, P99: tr.P99,
+			})
+			fmt.Fprintf(os.Stderr, "cilkload: x%-4g %-12s %-12s rate=%-6.4g sent=%-5d ok=%-5d rej=%-4d err=%-4d p50=%-12v p99=%v\n",
+				mult, sp.Tenant, sp.Class, rate, col.sent, col.ok, col.rejected, col.errors, tr.P50, tr.P99)
+		}
+		rep.Steps = append(rep.Steps, st)
+		if *settle > 0 && stepIdx < len(mults)-1 {
+			time.Sleep(*settle)
+		}
+	}
+
+	// Degradation summary: each interactive tenant's p99 at the last step
+	// vs. the first.
+	failed := false
+	for i, sp := range specs {
+		if sp.Class != "interactive" || len(rep.Steps) < 2 {
+			continue
+		}
+		first := rep.Steps[0].Tenants[i]
+		last := rep.Steps[len(rep.Steps)-1].Tenants[i]
+		d := degrade{Tenant: sp.Tenant, P99First: first.P99, P99Last: last.P99}
+		if first.P99 > 0 {
+			d.Ratio = float64(last.P99) / float64(first.P99)
+		}
+		rep.Degrade = append(rep.Degrade, d)
+		fmt.Fprintf(os.Stderr, "cilkload: %s interactive p99 %v -> %v (%.2fx) across best-effort x%g -> x%g\n",
+			sp.Tenant, first.P99, last.P99, d.Ratio, mults[0], mults[len(mults)-1])
+		if *maxDegrade > 0 && d.Ratio > *maxDegrade {
+			fmt.Fprintf(os.Stderr, "cilkload: FAIL %s p99 degraded %.2fx > %.2fx budget\n", sp.Tenant, d.Ratio, *maxDegrade)
+			failed = true
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cilkload:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "cilkload:", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -74,9 +74,9 @@ func main() {
 	}
 
 	rt := cilkgo.New(
-		cilkgo.Workers(p),
-		cilkgo.StealSeed(*seed),
-		cilkgo.Tracing(cilkgo.TraceCapacity(*capacity)),
+		cilkgo.WithWorkers(p),
+		cilkgo.WithStealSeed(*seed),
+		cilkgo.WithTracing(cilkgo.WithTraceCapacity(*capacity)),
 	)
 	defer rt.Shutdown()
 

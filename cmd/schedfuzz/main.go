@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -177,7 +178,7 @@ func runTrial(plan schedsan.Plan, stallAfter, deadline time.Duration) *trialResu
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		properties(rt, res)
+		properties(rt, res, plan.Seed)
 	}()
 	select {
 	case <-done:
@@ -195,8 +196,10 @@ func runTrial(plan schedsan.Plan, stallAfter, deadline time.Duration) *trialResu
 }
 
 // properties is the suite every trial runs. Each property is a correctness
-// statement the fault schedule must not be able to break.
-func properties(rt *sched.Runtime, res *trialResult) {
+// statement the fault schedule must not be able to break. seed parameterizes
+// the randomized shapes (the mixed-QoS storm) so each trial stays a pure
+// function of its plan seed.
+func properties(rt *sched.Runtime, res *trialResult, seed int64) {
 	addf := res.addf
 
 	// Property 1: lazy-loop exactly-once. Every iteration of a cilk_for
@@ -309,6 +312,116 @@ func properties(rt *sched.Runtime, res *trialResult) {
 			if c := atomic.LoadInt32(&counts[i]); c > 1 {
 				addf("cancel property: iteration %d ran %d times under cancellation", i, c)
 				break
+			}
+		}
+	}
+
+	// Property 5: mixed-QoS submission storms. Concurrent Submits across two
+	// tenants with opposing classes and priorities — a random subset carrying
+	// time budgets tight enough to cancel mid-flight — must each invoke their
+	// body at most once (exactly once when the ticket settles clean), keep
+	// per-submission reducer folds in serial order, and fail only with the
+	// cancellation sentinels. The storm shape is drawn from the plan seed, so
+	// the trial stays reproducible.
+	{
+		const (
+			subs = 24
+			n    = 64
+		)
+		type sub struct {
+			tenant   string
+			class    sched.QoSClass
+			prio     int
+			budget   time.Duration // 0 = none
+			budgeted bool
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x51_70_52_4d))
+		classes := []sched.QoSClass{sched.QoSInteractive, sched.QoSBatch, sched.QoSBestEffort}
+		shapes := make([]sub, subs)
+		for i := range shapes {
+			shapes[i] = sub{
+				tenant: [2]string{"alpha", "beta"}[i%2],
+				class:  classes[rng.Intn(len(classes))],
+				prio:   rng.Intn(7) - 3,
+			}
+			if rng.Intn(3) == 0 {
+				shapes[i].budgeted = true
+				shapes[i].budget = time.Duration(50+rng.Intn(2000)) * time.Microsecond
+			}
+		}
+		counts := make([]int32, subs)
+		views := make([]hyper.ListAppend[int], subs)
+		tickets := make([]*sched.Ticket, subs)
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < subs; i += 3 {
+					sh := shapes[i]
+					views[i] = hyper.NewListAppend[int]()
+					opts := []sched.RunOption{
+						sched.WithTenant(sh.tenant),
+						sched.WithQoS(sh.class),
+						sched.WithPriority(sh.prio),
+					}
+					if sh.budgeted {
+						opts = append(opts, sched.WithTimeBudget(sh.budget))
+					}
+					i := i
+					tk, err := rt.Submit(context.Background(), func(c *sched.Context) {
+						atomic.AddInt32(&counts[i], 1)
+						var walk func(c *sched.Context, lo, hi int)
+						walk = func(c *sched.Context, lo, hi int) {
+							if hi-lo == 1 {
+								views[i].PushBack(c, lo)
+								return
+							}
+							mid := (lo + hi) / 2
+							c.Spawn(func(c *sched.Context) { walk(c, lo, mid) })
+							walk(c, mid, hi)
+							c.Sync()
+						}
+						walk(c, 0, n)
+					}, opts...)
+					if err != nil {
+						addf("storm property: submit %d (%s/%v) rejected: %v", i, sh.tenant, sh.class, err)
+						continue
+					}
+					tickets[i] = tk
+				}
+			}(g)
+		}
+		wg.Wait()
+		for i, tk := range tickets {
+			if tk == nil {
+				continue
+			}
+			err := tk.Wait()
+			c := atomic.LoadInt32(&counts[i])
+			if c > 1 {
+				addf("storm property: submission %d body ran %d times", i, c)
+			}
+			switch {
+			case err == nil:
+				if c != 1 {
+					addf("storm property: submission %d settled clean but body ran %d times", i, c)
+				} else if got := views[i].Value(); len(got) != n {
+					addf("storm property: submission %d fold has %d elements, want %d", i, len(got), n)
+				} else {
+					for j, x := range got {
+						if x != j {
+							addf("storm property: submission %d serial order broken at %d: got %d", i, j, x)
+							break
+						}
+					}
+				}
+			case errors.Is(err, sched.ErrDeadlineExceeded) || errors.Is(err, sched.ErrCanceled):
+				if !shapes[i].budgeted {
+					addf("storm property: unbudgeted submission %d cancelled: %v", i, err)
+				}
+			default:
+				addf("storm property: submission %d failed with non-sentinel error: %v", i, err)
 			}
 		}
 	}

@@ -41,10 +41,10 @@ func main() {
 		"workers", "time", "speedup", "spawns", "steals", "max-depth")
 	maxP := runtime.GOMAXPROCS(0)
 	for p := 1; p <= maxP; p *= 2 {
-		opts := []cilkgo.Option{cilkgo.Workers(p)}
+		opts := []cilkgo.Option{cilkgo.WithWorkers(p)}
 		traced := *traceOut != "" && p*2 > maxP // trace the widest run
 		if traced {
-			opts = append(opts, cilkgo.Tracing())
+			opts = append(opts, cilkgo.WithTracing())
 		}
 		rt := cilkgo.New(opts...)
 		if traced {

@@ -44,10 +44,10 @@ func main() {
 	maxP := runtime.GOMAXPROCS(0)
 	fmt.Printf("%8s  %12s  %8s\n", "workers", "time", "speedup")
 	for p := 1; p <= maxP; p *= 2 {
-		opts := []cilkgo.Option{cilkgo.Workers(p)}
+		opts := []cilkgo.Option{cilkgo.WithWorkers(p)}
 		traced := *traceOut != "" && p*2 > maxP // trace the widest run
 		if traced {
-			opts = append(opts, cilkgo.Tracing())
+			opts = append(opts, cilkgo.WithTracing())
 		}
 		rt := cilkgo.New(opts...)
 		if traced {

@@ -18,7 +18,7 @@ const n = 11
 
 func main() {
 	// Serial reference via the single-worker runtime.
-	serialRT := cilkgo.New(cilkgo.Workers(1))
+	serialRT := cilkgo.New(cilkgo.WithWorkers(1))
 	var want int64
 	start := time.Now()
 	if err := serialRT.Run(func(c *cilkgo.Context) { want = workloads.NQueens(c, n) }); err != nil {
@@ -31,7 +31,7 @@ func main() {
 	fmt.Printf("%8s  %12s  %8s  %10s  %10s\n", "workers", "time", "speedup", "spawns", "steals")
 	maxP := runtime.GOMAXPROCS(0)
 	for p := 1; p <= maxP; p *= 2 {
-		rt := cilkgo.New(cilkgo.Workers(p))
+		rt := cilkgo.New(cilkgo.WithWorkers(p))
 		var got int64
 		start := time.Now()
 		if err := rt.Run(func(c *cilkgo.Context) { got = workloads.NQueens(c, n) }); err != nil {

@@ -1,33 +1,37 @@
-// Serve demonstrates the runtime as the compute engine of an HTTP server —
-// the ROADMAP's production posture. One shared work-stealing runtime
-// executes a cilk_for workload per request under that request's deadline:
+// Serve demonstrates the runtime as the compute engine of a multi-tenant
+// HTTP server — the ROADMAP's production posture. One shared work-stealing
+// runtime executes a cilk_for workload per request through the Submit API:
 //
-//   - every handler calls rt.RunCtx with the request context plus a
-//     per-request timeout, so an impatient client or an expired deadline
+//   - every handler calls rt.Submit with the request context bounded by a
+//     per-request budget, so an impatient client or an expired deadline
 //     abandons the computation cooperatively (ErrCanceled /
 //     ErrDeadlineExceeded → HTTP 499/504) instead of burning workers;
-//   - scheduler counters — including tasks_skipped, runs_canceled, and
-//     panics_quarantined from the robustness layer — are published on
-//     /debug/vars via cilkgo.PublishExpvar;
-//   - the runtime carries an online Cilkview observer, so the introspection
-//     server (cilkgo.DebugHandler) exposes Prometheus metrics on /metrics,
-//     per-run scalability reports on /debug/cilk/runs and
-//     /debug/cilk/profile, capture-on-demand Chrome traces on
-//     /debug/cilk/trace, and — with -statsheader — every response carries
-//     an X-Cilk-Stats header summarizing its own computation;
+//   - the X-Tenant request header labels the computation: -tenantclass maps
+//     tenants to QoS classes ("pro=interactive,free=best-effort"), so a
+//     best-effort flood from one tenant cannot starve another tenant's
+//     interactive traffic out of the sharded DRR injection lanes;
+//   - -maxqueued/-maxactive/-quota arm admission control: a tenant over its
+//     quota gets 429 with Retry-After, a server at capacity sheds with 503 —
+//     both decided at Submit time, before any work is queued;
+//   - scheduler counters are published on /debug/vars via
+//     cilkgo.PublishExpvar, and the introspection server (DebugHandler)
+//     serves Prometheus metrics on /metrics — including per-class and
+//     per-tenant series — plus the serving LoadReport on /debug/cilk/load;
+//   - -legacyinject reverts to the pre-sharding single FIFO injection queue,
+//     kept as the A/B baseline for cmd/cilkload's starvation measurements;
 //   - SIGINT/SIGTERM drains gracefully: the HTTP listener stops, then
 //     Runtime.ShutdownDrain gives in-flight computations a bounded grace
 //     period before cancelling them with ErrShutdown.
 //
 // Try it:
 //
-//	go run ./examples/serve -addr :8080 -statsheader &
-//	curl 'localhost:8080/matmul?n=256'            # completes
-//	curl 'localhost:8080/matmul?n=2048&budget=50ms'  # deadline exceeded → 504
-//	curl 'localhost:8080/metrics'                 # Prometheus scrape
-//	curl 'localhost:8080/debug/cilk/runs'         # per-run scalability (JSON)
-//	curl 'localhost:8080/debug/cilk/profile'      # Fig. 3 profile, on demand
-//	curl -OJ 'localhost:8080/debug/cilk/trace?dur=2s'  # Perfetto-loadable trace
+//	go run ./examples/serve -addr :8080 -statsheader \
+//	    -tenantclass 'pro=interactive,free=best-effort' -quota 'free=16' &
+//	curl 'localhost:8080/matmul?n=256'                      # anonymous → batch
+//	curl -H 'X-Tenant: pro'  'localhost:8080/matmul?n=256'  # interactive lane
+//	curl -H 'X-Tenant: free' 'localhost:8080/sinsum?n=100000'
+//	curl 'localhost:8080/debug/cilk/load'                   # serving load (JSON)
+//	curl 'localhost:8080/metrics'                           # Prometheus scrape
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,25 +62,92 @@ var (
 	drain       = flag.Duration("drain", 5*time.Second, "shutdown drain for in-flight requests")
 	statsHeader = flag.Bool("statsheader", false, "attach an X-Cilk-Stats header (tasks, steals, parallelism) to every compute response")
 	keepRuns    = flag.Int("keepruns", 64, "completed runs retained for /debug/cilk/runs")
+
+	tenantClass = flag.String("tenantclass", "pro=interactive,free=best-effort",
+		"comma-separated tenant=class map applied to the X-Tenant header (classes: interactive, batch, best-effort; unlisted tenants run as batch)")
+	maxQueued = flag.Int("maxqueued", 0, "admission: max roots queued runtime-wide (0 = unlimited)")
+	maxActive = flag.Int("maxactive", 0, "admission: max runs in flight runtime-wide (0 = unlimited)")
+	quotaSpec = flag.String("quota", "", "comma-separated tenant=maxactive quotas, e.g. 'free=16' (empty = no per-tenant quotas)")
+	legacy    = flag.Bool("legacyinject", false, "revert to the pre-sharding single-FIFO injection queue (A/B baseline for cmd/cilkload)")
 )
+
+// parseTenantClasses parses "pro=interactive,free=best-effort".
+func parseTenantClasses(spec string) (map[string]cilkgo.QoSClass, error) {
+	m := make(map[string]cilkgo.QoSClass)
+	if spec == "" {
+		return m, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		tenant, class, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tenant=class pair %q", pair)
+		}
+		q, known := cilkgo.ParseQoS(class)
+		if !known {
+			return nil, fmt.Errorf("unknown QoS class %q for tenant %q", class, tenant)
+		}
+		m[tenant] = q
+	}
+	return m, nil
+}
+
+// parseQuotas parses "free=16,pro=64" into per-tenant MaxActive quotas.
+func parseQuotas(spec string) (map[string]cilkgo.Quota, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	m := make(map[string]cilkgo.Quota)
+	for _, pair := range strings.Split(spec, ",") {
+		tenant, limit, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tenant=maxactive pair %q", pair)
+		}
+		n, err := strconv.Atoi(limit)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad quota for tenant %q: %q", tenant, limit)
+		}
+		m[tenant] = cilkgo.Quota{MaxActive: n}
+	}
+	return m, nil
+}
 
 func main() {
 	flag.Parse()
+	classes, err := parseTenantClasses(*tenantClass)
+	if err != nil {
+		log.Fatalf("-tenantclass: %v", err)
+	}
+	quotas, err := parseQuotas(*quotaSpec)
+	if err != nil {
+		log.Fatalf("-quota: %v", err)
+	}
+
 	opts := []cilkgo.Option{
-		// The observer powers /metrics histograms, /debug/cilk/runs, and the
-		// X-Cilk-Stats header; tracing powers /debug/cilk/trace.
+		// The observer powers /metrics histograms (per-class and per-tenant
+		// series included), /debug/cilk/runs, and the X-Cilk-Stats header;
+		// tracing powers /debug/cilk/trace.
 		cilkgo.WithObserver(cilkgo.NewObserver(*keepRuns)),
 		cilkgo.WithTracing(),
 	}
 	if *workers > 0 {
 		opts = append(opts, cilkgo.WithWorkers(*workers))
 	}
+	if *maxQueued > 0 || *maxActive > 0 || len(quotas) > 0 {
+		opts = append(opts, cilkgo.WithAdmission(cilkgo.AdmissionConfig{
+			MaxQueued: *maxQueued,
+			MaxActive: *maxActive,
+			Tenants:   quotas,
+		}))
+	}
+	if *legacy {
+		opts = append(opts, cilkgo.WithLegacyInject())
+	}
 	rt := cilkgo.New(opts...)
 	cilkgo.PublishExpvar("cilk", rt)
 
 	mux := http.DefaultServeMux
-	mux.HandleFunc("/matmul", handle(rt, matmul))
-	mux.HandleFunc("/sinsum", handle(rt, sinsum))
+	mux.HandleFunc("/matmul", handle(rt, classes, matmul))
+	mux.HandleFunc("/sinsum", handle(rt, classes, sinsum))
 	debug := cilkgo.DebugHandler(rt)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/cilk/", debug)
@@ -83,7 +155,7 @@ func main() {
 	srv := &http.Server{Addr: *addr}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (budget %v, drain %v)", *addr, *budget, *drain)
+	log.Printf("serving on %s (budget %v, drain %v, legacyinject %v)", *addr, *budget, *drain, *legacy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -109,10 +181,11 @@ func main() {
 	}
 }
 
-// handle wraps a workload so every request runs it under the request
-// context bounded by the per-request budget, mapping the robustness-layer
-// errors to HTTP statuses.
-func handle(rt *cilkgo.Runtime, work func(c *cilkgo.Context, n int) float64) http.HandlerFunc {
+// handle wraps a workload so every request runs it via Submit under the
+// request context bounded by the per-request budget, labelled with the
+// X-Tenant header's tenant and its mapped QoS class, mapping admission and
+// robustness-layer errors to HTTP statuses.
+func handle(rt *cilkgo.Runtime, classes map[string]cilkgo.QoSClass, work func(c *cilkgo.Context, n int) float64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		n := 256
 		if s := r.URL.Query().Get("n"); s != "" {
@@ -132,31 +205,58 @@ func handle(rt *cilkgo.Runtime, work func(c *cilkgo.Context, n int) float64) htt
 			}
 			b = v
 		}
+		tenant := r.Header.Get("X-Tenant")
+		class := cilkgo.QoSBatch
+		if q, ok := classes[tenant]; ok {
+			class = q
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), b)
 		defer cancel()
 
+		runOpts := []cilkgo.RunOption{cilkgo.WithTenant(tenant), cilkgo.WithQoS(class)}
+		if *statsHeader {
+			runOpts = append(runOpts, cilkgo.WithStats())
+		}
 		var result float64
 		start := time.Now()
-		var err error
+		tk, err := rt.Submit(ctx, func(c *cilkgo.Context) { result = work(c, n) }, runOpts...)
+		if err != nil {
+			// Submission-time rejection: nothing was queued. Admission
+			// rejections are the server's backpressure — tell the client to
+			// come back rather than hammering a saturated queue.
+			switch {
+			case errors.Is(err, cilkgo.ErrQuota):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, fmt.Sprintf("tenant %q over quota", tenant), http.StatusTooManyRequests)
+			case errors.Is(err, cilkgo.ErrAdmission):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+			case errors.Is(err, cilkgo.ErrShutdown):
+				http.Error(w, "server draining", http.StatusServiceUnavailable)
+			case errors.Is(err, cilkgo.ErrDeadlineExceeded), errors.Is(err, cilkgo.ErrCanceled):
+				http.Error(w, "request expired before submission", 499)
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		err = tk.Wait()
 		if *statsHeader {
 			// Per-request accounting: the header summarizes this request's
-			// own computation — tasks it ran, steals of its tasks, and its
-			// online parallelism estimate (work/span, measured while the
-			// parallel schedule ran).
-			var st cilkgo.Stats
-			st, err = rt.RunWithStatsCtx(ctx, func(c *cilkgo.Context) { result = work(c, n) })
-			hdr := fmt.Sprintf("tasks=%d steals=%d", st.TasksRun, st.Steals)
+			// own computation — tasks it ran, steals of its tasks, its lane
+			// wait, and its online parallelism estimate (work/span, measured
+			// while the parallel schedule ran).
+			st := tk.Stats()
+			hdr := fmt.Sprintf("tasks=%d steals=%d queued=%s", st.TasksRun, st.Steals, tk.QueueLatency())
 			if st.Span > 0 {
 				hdr += fmt.Sprintf(" parallelism=%.2f", float64(st.Work)/float64(st.Span))
 			}
 			w.Header().Set("X-Cilk-Stats", hdr)
-		} else {
-			err = rt.RunCtx(ctx, func(c *cilkgo.Context) { result = work(c, n) })
 		}
 		elapsed := time.Since(start)
 		switch {
 		case err == nil:
-			fmt.Fprintf(w, "result=%g n=%d elapsed=%v\n", result, n, elapsed)
+			fmt.Fprintf(w, "result=%g n=%d elapsed=%v tenant=%q class=%s\n", result, n, elapsed, tenant, tk.Class())
 		case errors.Is(err, cilkgo.ErrDeadlineExceeded):
 			http.Error(w, fmt.Sprintf("compute budget %v exceeded after %v", b, elapsed),
 				http.StatusGatewayTimeout)

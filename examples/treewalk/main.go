@@ -82,7 +82,7 @@ func main() {
 }
 
 func timeMutexWalk(p int, root *workloads.TreeNode) (time.Duration, time.Duration) {
-	rt := cilkgo.New(cilkgo.Workers(p))
+	rt := cilkgo.New(cilkgo.WithWorkers(p))
 	defer rt.Shutdown()
 	mu := cilklock.New("output_list")
 	var out []*workloads.TreeNode
@@ -97,7 +97,7 @@ func timeMutexWalk(p int, root *workloads.TreeNode) (time.Duration, time.Duratio
 }
 
 func timeReducerWalk(p int, root *workloads.TreeNode, want []*workloads.TreeNode) (time.Duration, bool) {
-	rt := cilkgo.New(cilkgo.Workers(p))
+	rt := cilkgo.New(cilkgo.WithWorkers(p))
 	defer rt.Shutdown()
 	out := hyper.NewListAppend[*workloads.TreeNode]()
 	start := time.Now()

@@ -169,7 +169,7 @@ func CSV(p Profile, procs []int, measured []Point) string {
 // actual quicksort binary.
 func Measure(name string, fn func(*sched.Context)) (Profile, error) {
 	tr := &timingHooks{bld: dag.NewBuilder(), last: time.Now()}
-	rt := sched.New(sched.SerialElision(), sched.WithHooks(tr))
+	rt := sched.New(sched.WithSerialElision(), sched.WithHooks(tr))
 	if err := rt.Run(fn); err != nil {
 		return Profile{}, err
 	}

@@ -70,7 +70,7 @@ func TestLoopProfilePinned(t *testing.T) {
 // the split tree stays logarithmic in the leaf count rather than linear in n.
 func TestLazySplitMatchesEagerDag(t *testing.T) {
 	// No thieves: the lazy schedule is the eager dag's leaf sequence.
-	rt1 := sched.New(sched.Workers(1))
+	rt1 := sched.New(sched.WithWorkers(1))
 	var sink atomic.Int64
 	st, err := rt1.RunWithStats(func(c *sched.Context) {
 		pfor.ForGrain(c, 0, xcN, xcGrain, xcBody(&sink))
@@ -91,7 +91,7 @@ func TestLazySplitMatchesEagerDag(t *testing.T) {
 	}
 
 	// Steal pressure: same work, partition within the split-tree bounds.
-	rt := sched.New(sched.Workers(8))
+	rt := sched.New(sched.WithWorkers(8))
 	defer rt.Shutdown()
 	for trial := 0; trial < 10; trial++ {
 		var n atomic.Int64

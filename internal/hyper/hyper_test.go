@@ -13,7 +13,7 @@ import (
 // runPar executes fn on a fresh parallel runtime with p workers.
 func runPar(t *testing.T, p int, seed int64, fn func(*sched.Context)) {
 	t.Helper()
-	rt := sched.New(sched.Workers(p), sched.StealSeed(seed))
+	rt := sched.New(sched.WithWorkers(p), sched.WithStealSeed(seed))
 	defer rt.Shutdown()
 	if err := rt.Run(fn); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -23,7 +23,7 @@ func runPar(t *testing.T, p int, seed int64, fn func(*sched.Context)) {
 // runSerialElision executes fn as the serial elision.
 func runSerialElision(t *testing.T, fn func(*sched.Context)) {
 	t.Helper()
-	rt := sched.New(sched.SerialElision())
+	rt := sched.New(sched.WithSerialElision())
 	if err := rt.Run(fn); err != nil {
 		t.Fatalf("Run(serial): %v", err)
 	}
@@ -119,7 +119,7 @@ func TestListAppendMatchesSerialElision(t *testing.T) {
 
 func TestReducerReuseAcrossRuns(t *testing.T) {
 	sum := NewAdder[int]()
-	rt := sched.New(sched.Workers(2))
+	rt := sched.New(sched.WithWorkers(2))
 	defer rt.Shutdown()
 	for run := 1; run <= 3; run++ {
 		if err := rt.Run(func(c *sched.Context) { sum.Add(c, run) }); err != nil {
@@ -367,12 +367,12 @@ func TestQuickListOrderMatchesSerial(t *testing.T) {
 			walk(c, root)
 		}
 		serial := NewListAppend[int]()
-		rtS := sched.New(sched.SerialElision())
+		rtS := sched.New(sched.WithSerialElision())
 		if err := rtS.Run(func(c *sched.Context) { program(c, serial) }); err != nil {
 			return false
 		}
 		par := NewListAppend[int]()
-		rtP := sched.New(sched.Workers(p), sched.StealSeed(tc.Seed))
+		rtP := sched.New(sched.WithWorkers(p), sched.WithStealSeed(tc.Seed))
 		defer rtP.Shutdown()
 		if err := rtP.Run(func(c *sched.Context) { program(c, par) }); err != nil {
 			return false
@@ -385,7 +385,7 @@ func TestQuickListOrderMatchesSerial(t *testing.T) {
 }
 
 func BenchmarkAdderAdd(b *testing.B) {
-	rt := sched.New(sched.Workers(1))
+	rt := sched.New(sched.WithWorkers(1))
 	defer rt.Shutdown()
 	sum := NewAdder[int64]()
 	b.ReportAllocs()

@@ -12,7 +12,7 @@ import (
 // releasing strand's view-map entry must be gone.
 func TestAcquireRelease(t *testing.T) {
 	m := FuncMonoid(func() int { return 0 }, func(a, b int) int { return a + b })
-	rt := sched.New(sched.Workers(1))
+	rt := sched.New(sched.WithWorkers(1))
 	defer rt.Shutdown()
 	if err := rt.Run(func(c *sched.Context) {
 		r1 := Acquire(m)
@@ -37,7 +37,7 @@ func TestAcquireRelease(t *testing.T) {
 // views of other live hyperobjects on the same strand.
 func TestReleaseDropsOnlyOwnView(t *testing.T) {
 	m := FuncMonoid(func() int { return 0 }, func(a, b int) int { return a + b })
-	rt := sched.New(sched.Workers(1))
+	rt := sched.New(sched.WithWorkers(1))
 	defer rt.Shutdown()
 	if err := rt.Run(func(c *sched.Context) {
 		keep := New(m)
@@ -60,7 +60,7 @@ func TestReleaseDropsOnlyOwnView(t *testing.T) {
 // lookup walks O(#views) entries.
 func BenchmarkViewLookup(b *testing.B) {
 	bench := func(b *testing.B, others int) {
-		rt := sched.New(sched.Workers(1))
+		rt := sched.New(sched.WithWorkers(1))
 		defer rt.Shutdown()
 		b.ReportAllocs()
 		if err := rt.Run(func(c *sched.Context) {
@@ -88,7 +88,7 @@ func BenchmarkViewLookup(b *testing.B) {
 // accessed alternately defeat a single-entry cache, pinning the cost of the
 // fallback scan so regressions in either path are visible.
 func BenchmarkViewLookupAlternating(b *testing.B) {
-	rt := sched.New(sched.Workers(1))
+	rt := sched.New(sched.WithWorkers(1))
 	defer rt.Shutdown()
 	b.ReportAllocs()
 	if err := rt.Run(func(c *sched.Context) {

@@ -24,6 +24,10 @@ import (
 //	                         downloadable straight into Perfetto
 //	/debug/cilk/stalls       JSON: the sanitizer watchdog's latest stall and
 //	                         invariant findings
+//	/debug/cilk/load         JSON: the serving LoadReport — queued/running
+//	                         roots by QoS class, per-tenant load, admission
+//	                         outcomes — the backpressure signal for load
+//	                         shedding
 //
 // Run-level endpoints need the runtime built with an observer
 // (sched.WithRunObserver(obs.NewRegistry(...))); without one they answer
@@ -38,6 +42,7 @@ func Handler(rt *sched.Runtime) http.Handler {
 	mux.HandleFunc("/debug/cilk/profile", h.profile)
 	mux.HandleFunc("/debug/cilk/trace", h.trace)
 	mux.HandleFunc("/debug/cilk/stalls", h.stalls)
+	mux.HandleFunc("/debug/cilk/load", h.load)
 	mux.HandleFunc("/debug/cilk/", h.index)
 	return mux
 }
@@ -63,13 +68,16 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 
 // runJSON is one run in the /debug/cilk/runs payload.
 type runJSON struct {
-	ID          int64     `json:"id"`
-	Start       time.Time `json:"start"`
-	End         time.Time `json:"end"`
-	Err         string    `json:"err,omitempty"`
-	Spawns      int64     `json:"spawns"`
-	TasksRun    int64     `json:"tasks_run"`
-	Steals      int64     `json:"steals"`
+	ID          int64         `json:"id"`
+	Start       time.Time     `json:"start"`
+	End         time.Time     `json:"end"`
+	Err         string        `json:"err,omitempty"`
+	Tenant      string        `json:"tenant,omitempty"`
+	Class       string        `json:"class"`
+	QueuedNS    time.Duration `json:"queued_ns"`
+	Spawns      int64         `json:"spawns"`
+	TasksRun    int64         `json:"tasks_run"`
+	Steals      int64         `json:"steals"`
 	Scalability `json:"scalability"`
 }
 
@@ -95,6 +103,9 @@ func (h *handler) runs(w http.ResponseWriter, r *http.Request) {
 			ID:          rep.ID,
 			Start:       rep.Start,
 			End:         rep.End,
+			Tenant:      rep.Tenant,
+			Class:       rep.Class.String(),
+			QueuedNS:    rep.Queued,
 			Spawns:      rep.Stats.Spawns,
 			TasksRun:    rep.Stats.TasksRun,
 			Steals:      rep.Stats.Steals,
@@ -187,6 +198,22 @@ func (h *handler) stalls(w http.ResponseWriter, r *http.Request) {
 	}{h.rt.StallReport(), h.rt.ViolationReport()})
 }
 
+// load serves the runtime's LoadReport plus the registry's per-class and
+// per-tenant completed-run summaries: everything a load balancer or shedder
+// needs in one scrape.
+func (h *handler) load(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		sched.LoadReport
+		Classes []ClassStats  `json:"classes,omitempty"`
+		Tenants []TenantStats `json:"tenant_totals,omitempty"`
+	}{LoadReport: h.rt.LoadReport()}
+	if h.reg != nil {
+		out.Classes = h.reg.ClassStats()
+		out.Tenants = h.reg.TenantStats()
+	}
+	writeJSON(w, out)
+}
+
 func (h *handler) index(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `cilk runtime introspection
@@ -195,6 +222,7 @@ func (h *handler) index(w http.ResponseWriter, r *http.Request) {
   /debug/cilk/profile      parallelism profile of one run (?id=N)
   /debug/cilk/trace        capture a Chrome trace (?dur=2s)
   /debug/cilk/stalls       sanitizer stall/violation findings (JSON)
+  /debug/cilk/load         serving load report: queues, tenants, admission (JSON)
 `)
 }
 

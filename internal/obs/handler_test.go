@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -283,5 +284,114 @@ func TestEndpointsWithoutObserver(t *testing.T) {
 	// Metrics still work — they need only the runtime's counters.
 	if status, _ := get(t, srv.URL+"/metrics"); status != 200 {
 		t.Errorf("metrics without observer: status %d", status)
+	}
+}
+
+func TestLoadEndpoint(t *testing.T) {
+	rt, _, srv := observedRuntime(t)
+	// Complete one labelled submission so the serving dimensions have data.
+	tk, err := rt.Submit(context.Background(), func(c *sched.Context) { fibSpin(c, 5, 10*time.Microsecond) },
+		sched.WithTenant("acme"), sched.WithQoS(sched.QoSInteractive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, srv.URL+"/debug/cilk/load")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/cilk/load = %d\n%s", code, body)
+	}
+	var out struct {
+		Workers       int            `json:"Workers"`
+		QueuedByClass map[string]int `json:"QueuedByClass"`
+		Admitted      int64          `json:"Admitted"`
+		Tenants       []struct {
+			Tenant   string
+			Admitted int64
+		} `json:"Tenants"`
+		Classes []struct {
+			Class string
+			Runs  int64
+		} `json:"classes"`
+		TenantTotals []struct {
+			Tenant string
+			Runs   int64
+		} `json:"tenant_totals"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", out.Workers)
+	}
+	if out.Admitted < 1 {
+		t.Fatalf("Admitted = %d, want >= 1", out.Admitted)
+	}
+	if _, ok := out.QueuedByClass["interactive"]; !ok {
+		t.Fatalf("QueuedByClass missing interactive: %s", body)
+	}
+	foundTenant := false
+	for _, tn := range out.Tenants {
+		if tn.Tenant == "acme" && tn.Admitted == 1 {
+			foundTenant = true
+		}
+	}
+	if !foundTenant {
+		t.Fatalf("acme tenant missing from load report: %s", body)
+	}
+	foundClass := false
+	for _, c := range out.Classes {
+		if c.Class == "interactive" && c.Runs >= 1 {
+			foundClass = true
+		}
+	}
+	if !foundClass {
+		t.Fatalf("interactive class missing from completed-run stats: %s", body)
+	}
+	foundTotals := false
+	for _, tn := range out.TenantTotals {
+		if tn.Tenant == "acme" && tn.Runs == 1 {
+			foundTotals = true
+		}
+	}
+	if !foundTotals {
+		t.Fatalf("acme missing from tenant totals: %s", body)
+	}
+}
+
+func TestMetricsServingSeries(t *testing.T) {
+	rt, _, srv := observedRuntime(t)
+	tk, err := rt.Submit(context.Background(), func(c *sched.Context) { fibSpin(c, 5, 10*time.Microsecond) },
+		sched.WithTenant("acme"), sched.WithQoS(sched.QoSInteractive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`cilk_class_runs_completed{class="interactive"} 1`,
+		`cilk_class_run_latency_seconds_count{class="interactive"} 1`,
+		`cilk_class_queue_wait_seconds_count{class="interactive"} 1`,
+		`cilk_tenant_runs_completed{tenant="acme"} 1`,
+		`cilk_tenant_admitted{tenant="acme"} 1`,
+		"# TYPE cilk_parked gauge",
+		"cilk_queued_interactive 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every line must still parse as valid exposition format.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
 	}
 }

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,6 +44,46 @@ type Registry struct {
 	errRuns int64 // completed runs that returned an error
 
 	latency *trace.LiveHistogram // run wall-clock latency
+
+	// Serving-dimension aggregation, keyed by the submission identity the
+	// RunReport carries (sched.Submit's WithQoS/WithTenant): per-class run
+	// counts with latency and queue-wait histograms, and per-tenant run
+	// counts with cumulative queue wait.
+	classes map[string]*classAgg
+	tenants map[string]*tenantAgg
+}
+
+// maxTenantAggs bounds the per-tenant map; once full, new tenant labels
+// aggregate under "(other)" so a label-cardinality attack cannot grow the
+// registry without bound.
+const maxTenantAggs = 256
+
+type classAgg struct {
+	runs, errs int64
+	latency    *trace.LiveHistogram // run wall-clock latency
+	queueWait  *trace.LiveHistogram // root lane wait (RunReport.Queued)
+}
+
+type tenantAgg struct {
+	runs, errs  int64
+	queuedTotal time.Duration // cumulative lane wait across the tenant's runs
+}
+
+// ClassStats is the completed-run summary of one QoS class.
+type ClassStats struct {
+	Class      string
+	Runs, Errs int64
+	Latency    trace.Histogram
+	QueueWait  trace.Histogram
+}
+
+// TenantStats is the completed-run summary of one tenant label. QueuedTotal
+// is the tenant's cumulative root lane wait; QueuedTotal/Runs is its mean
+// queueing delay.
+type TenantStats struct {
+	Tenant      string
+	Runs, Errs  int64
+	QueuedTotal time.Duration
 }
 
 // NewRegistry returns a Registry retaining the keep most recent completed
@@ -55,6 +96,8 @@ func NewRegistry(keep int) *Registry {
 		live:    make(map[int64]time.Time),
 		keep:    keep,
 		latency: trace.NewLiveHistogram(nil),
+		classes: make(map[string]*classAgg),
+		tenants: make(map[string]*tenantAgg),
 	}
 }
 
@@ -79,7 +122,69 @@ func (r *Registry) RunEnd(rep sched.RunReport) {
 		r.recent = r.recent[:len(r.recent)-1]
 	}
 	r.recent = append(r.recent, rep)
+
+	cls := rep.Class.String()
+	ca := r.classes[cls]
+	if ca == nil {
+		ca = &classAgg{latency: trace.NewLiveHistogram(nil), queueWait: trace.NewLiveHistogram(nil)}
+		r.classes[cls] = ca
+	}
+	ca.runs++
+	if rep.Err != nil {
+		ca.errs++
+	}
+	ca.latency.Observe(rep.End.Sub(rep.Start))
+	ca.queueWait.Observe(rep.Queued)
+
+	tname := rep.Tenant
+	ta := r.tenants[tname]
+	if ta == nil {
+		if len(r.tenants) >= maxTenantAggs {
+			tname = "(other)"
+		}
+		if ta = r.tenants[tname]; ta == nil {
+			ta = &tenantAgg{}
+			r.tenants[tname] = ta
+		}
+	}
+	ta.runs++
+	if rep.Err != nil {
+		ta.errs++
+	}
+	ta.queuedTotal += rep.Queued
 	r.mu.Unlock()
+}
+
+// ClassStats returns per-QoS-class completed-run summaries, sorted by class
+// name. Only classes that have completed at least one run appear.
+func (r *Registry) ClassStats() []ClassStats {
+	r.mu.Lock()
+	out := make([]ClassStats, 0, len(r.classes))
+	for name, ca := range r.classes {
+		out = append(out, ClassStats{
+			Class: name, Runs: ca.runs, Errs: ca.errs,
+			Latency: ca.latency.Snapshot(), QueueWait: ca.queueWait.Snapshot(),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// TenantStats returns per-tenant completed-run summaries, sorted by tenant
+// label (the unlabeled tenant appears as ""; overflow labels past the
+// 256-tenant cap aggregate under "(other)").
+func (r *Registry) TenantStats() []TenantStats {
+	r.mu.Lock()
+	out := make([]TenantStats, 0, len(r.tenants))
+	for name, ta := range r.tenants {
+		out = append(out, TenantStats{
+			Tenant: name, Runs: ta.runs, Errs: ta.errs, QueuedTotal: ta.queuedTotal,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // LiveRun is one in-flight run.

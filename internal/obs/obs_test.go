@@ -214,3 +214,63 @@ func relDelta(a, b float64) float64 {
 	}
 	return d
 }
+
+func TestRegistryClassTenantStats(t *testing.T) {
+	r := NewRegistry(8)
+	mk := func(id int64, cls sched.QoSClass, tenant string, queued time.Duration, fail bool) sched.RunReport {
+		rep := report(id, time.Millisecond, time.Millisecond, 2*time.Millisecond, 0)
+		rep.Class, rep.Tenant, rep.Queued = cls, tenant, queued
+		if fail {
+			rep.Err = fmt.Errorf("boom")
+		}
+		return rep
+	}
+	r.RunEnd(mk(1, sched.QoSInteractive, "pro", 10*time.Microsecond, false))
+	r.RunEnd(mk(2, sched.QoSInteractive, "pro", 30*time.Microsecond, true))
+	r.RunEnd(mk(3, sched.QoSBestEffort, "free", 500*time.Microsecond, false))
+
+	cs := r.ClassStats()
+	if len(cs) != 2 {
+		t.Fatalf("ClassStats = %d entries, want 2: %+v", len(cs), cs)
+	}
+	// Sorted by class name: best-effort < interactive.
+	if cs[0].Class != "best-effort" || cs[0].Runs != 1 || cs[0].Errs != 0 {
+		t.Fatalf("best-effort stats = %+v", cs[0])
+	}
+	if cs[1].Class != "interactive" || cs[1].Runs != 2 || cs[1].Errs != 1 {
+		t.Fatalf("interactive stats = %+v", cs[1])
+	}
+	if cs[1].Latency.N != 2 || cs[1].QueueWait.N != 2 {
+		t.Fatalf("interactive histograms N = %d/%d, want 2/2", cs[1].Latency.N, cs[1].QueueWait.N)
+	}
+
+	ts := r.TenantStats()
+	if len(ts) != 2 || ts[0].Tenant != "free" || ts[1].Tenant != "pro" {
+		t.Fatalf("TenantStats = %+v, want [free pro]", ts)
+	}
+	if ts[1].Runs != 2 || ts[1].Errs != 1 || ts[1].QueuedTotal != 40*time.Microsecond {
+		t.Fatalf("pro tenant stats = %+v", ts[1])
+	}
+}
+
+func TestRegistryTenantOverflowAggregates(t *testing.T) {
+	r := NewRegistry(4)
+	for i := 0; i < maxTenantAggs+10; i++ {
+		rep := report(int64(i), time.Millisecond, time.Millisecond, time.Millisecond, 0)
+		rep.Tenant = fmt.Sprintf("tenant-%04d", i)
+		r.RunEnd(rep)
+	}
+	ts := r.TenantStats()
+	if len(ts) != maxTenantAggs+1 {
+		t.Fatalf("tenant aggs = %d, want %d (cap + overflow bucket)", len(ts), maxTenantAggs+1)
+	}
+	var other *TenantStats
+	for i := range ts {
+		if ts[i].Tenant == "(other)" {
+			other = &ts[i]
+		}
+	}
+	if other == nil || other.Runs != 10 {
+		t.Fatalf("overflow bucket = %+v, want 10 runs under (other)", other)
+	}
+}

@@ -81,32 +81,112 @@ func WriteMetrics(w io.Writer, rt *sched.Runtime, reg *Registry) error {
 	}
 	hists := rt.LatencyHistograms()
 	for _, name := range sortedKeys(hists) {
-		writeHistogram(bw, "cilk_"+name+"_seconds", hists[name])
+		writeHistogram(bw, "cilk_"+name+"_seconds", "", hists[name])
 	}
 	if reg != nil {
 		runs, errs := reg.Totals()
 		bw.printf("# TYPE cilk_runs_completed counter\ncilk_runs_completed %d\n", runs)
 		bw.printf("# TYPE cilk_runs_errored counter\ncilk_runs_errored %d\n", errs)
-		writeHistogram(bw, "cilk_run_latency_seconds", reg.RunLatency())
+		writeHistogram(bw, "cilk_run_latency_seconds", "", reg.RunLatency())
+
+		// Serving dimensions: completed-run series per QoS class and per
+		// tenant (see Registry.ClassStats/TenantStats).
+		if cs := reg.ClassStats(); len(cs) > 0 {
+			bw.printf("# TYPE cilk_class_runs_completed counter\n")
+			for _, c := range cs {
+				bw.printf("cilk_class_runs_completed{class=%q} %d\n", c.Class, c.Runs)
+			}
+			bw.printf("# TYPE cilk_class_runs_errored counter\n")
+			for _, c := range cs {
+				bw.printf("cilk_class_runs_errored{class=%q} %d\n", c.Class, c.Errs)
+			}
+			bw.printf("# TYPE cilk_class_run_latency_seconds histogram\n")
+			for _, c := range cs {
+				writeHistogramSeries(bw, "cilk_class_run_latency_seconds", fmt.Sprintf("class=%q", c.Class), c.Latency)
+			}
+			bw.printf("# TYPE cilk_class_queue_wait_seconds histogram\n")
+			for _, c := range cs {
+				writeHistogramSeries(bw, "cilk_class_queue_wait_seconds", fmt.Sprintf("class=%q", c.Class), c.QueueWait)
+			}
+		}
+		if ts := reg.TenantStats(); len(ts) > 0 {
+			bw.printf("# TYPE cilk_tenant_runs_completed counter\n")
+			for _, t := range ts {
+				bw.printf("cilk_tenant_runs_completed{tenant=%q} %d\n", t.Tenant, t.Runs)
+			}
+			bw.printf("# TYPE cilk_tenant_runs_errored counter\n")
+			for _, t := range ts {
+				bw.printf("cilk_tenant_runs_errored{tenant=%q} %d\n", t.Tenant, t.Errs)
+			}
+			bw.printf("# TYPE cilk_tenant_queue_wait_seconds_total counter\n")
+			for _, t := range ts {
+				bw.printf("cilk_tenant_queue_wait_seconds_total{tenant=%q} %s\n", t.Tenant, formatSeconds(t.QueuedTotal.Seconds()))
+			}
+		}
+	}
+
+	// Live serving load (sched.LoadReport): instantaneous queue/running
+	// gauges per tenant. The runtime-wide gauges (queued_*, runs_running,
+	// admission_*) are already in Metrics() above.
+	load := rt.LoadReport()
+	bw.printf("# TYPE cilk_parked gauge\ncilk_parked %d\n", load.Parked)
+	if len(load.Tenants) > 0 {
+		bw.printf("# TYPE cilk_tenant_queued gauge\n")
+		for _, t := range load.Tenants {
+			bw.printf("cilk_tenant_queued{tenant=%q} %d\n", t.Tenant, t.Queued)
+		}
+		bw.printf("# TYPE cilk_tenant_running gauge\n")
+		for _, t := range load.Tenants {
+			bw.printf("cilk_tenant_running{tenant=%q} %d\n", t.Tenant, t.Running)
+		}
+		bw.printf("# TYPE cilk_tenant_memory_bytes gauge\n")
+		for _, t := range load.Tenants {
+			bw.printf("cilk_tenant_memory_bytes{tenant=%q} %d\n", t.Tenant, t.Memory)
+		}
+		bw.printf("# TYPE cilk_tenant_admitted counter\n")
+		for _, t := range load.Tenants {
+			bw.printf("cilk_tenant_admitted{tenant=%q} %d\n", t.Tenant, t.Admitted)
+		}
+		bw.printf("# TYPE cilk_tenant_rejected counter\n")
+		for _, t := range load.Tenants {
+			bw.printf("cilk_tenant_rejected{tenant=%q} %d\n", t.Tenant, t.Rejected)
+		}
 	}
 	return bw.err
 }
 
-// writeHistogram emits one Prometheus histogram: cumulative _bucket series
-// with le bounds in seconds, then _sum and _count.
-func writeHistogram(bw *errWriter, name string, h trace.Histogram) {
+// writeHistogram emits one Prometheus histogram — its TYPE header followed
+// by cumulative _bucket series with le bounds in seconds, then _sum and
+// _count. labels, when non-empty, is a rendered label pair
+// ("class=\"batch\"") added to every series.
+func writeHistogram(bw *errWriter, name, labels string, h trace.Histogram) {
 	bw.printf("# TYPE %s histogram\n", name)
+	writeHistogramSeries(bw, name, labels, h)
+}
+
+// writeHistogramSeries emits one labelled series set of a histogram without
+// the TYPE header, so several label values can share one header.
+func writeHistogramSeries(bw *errWriter, name, labels string, h trace.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
 	var cum int64
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		bw.printf("%s_bucket{le=%q} %d\n", name, formatSeconds(float64(b)/1e9), cum)
+		bw.printf("%s_bucket{%sle=%q} %d\n", name, sep, formatSeconds(float64(b)/1e9), cum)
 	}
 	if len(h.Counts) > len(h.Bounds) {
 		cum += h.Counts[len(h.Bounds)]
 	}
-	bw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	bw.printf("%s_sum %s\n", name, formatSeconds(h.Sum.Seconds()))
-	bw.printf("%s_count %d\n", name, h.N)
+	bw.printf("%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum)
+	if labels != "" {
+		bw.printf("%s_sum{%s} %s\n", name, labels, formatSeconds(h.Sum.Seconds()))
+		bw.printf("%s_count{%s} %d\n", name, labels, h.N)
+	} else {
+		bw.printf("%s_sum %s\n", name, formatSeconds(h.Sum.Seconds()))
+		bw.printf("%s_count %d\n", name, h.N)
+	}
 }
 
 // formatSeconds renders a bound in seconds the way Prometheus expects:

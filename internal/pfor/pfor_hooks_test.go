@@ -30,7 +30,7 @@ func (h *hookLog) String() string { return strings.Join(h.events, " ") }
 // executing in ascending serial order.
 func TestForGrainHookOrder(t *testing.T) {
 	rec := &hookLog{}
-	rt := sched.New(sched.SerialElision(), sched.WithHooks(rec))
+	rt := sched.New(sched.WithSerialElision(), sched.WithHooks(rec))
 	err := rt.Run(func(c *sched.Context) {
 		pfor.ForGrain(c, 0, 4, 1, func(c *sched.Context, i int) {
 			rec.mark(fmt.Sprintf("b%d", i))
@@ -53,7 +53,7 @@ func TestForGrainHookOrder(t *testing.T) {
 // frame passes its implicit sync before closing.
 func TestNestedForHookStructure(t *testing.T) {
 	rec := &hookLog{}
-	rt := sched.New(sched.SerialElision(), sched.WithHooks(rec))
+	rt := sched.New(sched.WithSerialElision(), sched.WithHooks(rec))
 	seen := map[string]bool{}
 	err := rt.Run(func(c *sched.Context) {
 		pfor.ForGrain(c, 0, 2, 1, func(c *sched.Context, i int) {

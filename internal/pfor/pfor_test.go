@@ -12,7 +12,7 @@ import (
 
 func runPar(t *testing.T, p int, fn func(*sched.Context)) {
 	t.Helper()
-	rt := sched.New(sched.Workers(p))
+	rt := sched.New(sched.WithWorkers(p))
 	defer rt.Shutdown()
 	if err := rt.Run(fn); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -88,7 +88,7 @@ func TestForPreservesReducerOrder(t *testing.T) {
 func TestForSyncScope(t *testing.T) {
 	// The loop's implicit sync must not join children the caller spawned
 	// before the loop.
-	rt := sched.New(sched.Workers(4))
+	rt := sched.New(sched.WithWorkers(4))
 	defer rt.Shutdown()
 	release := make(chan struct{})
 	var slowDone atomic.Bool
@@ -164,7 +164,7 @@ func TestGrainFormula(t *testing.T) {
 // Property: every index in an arbitrary range is visited exactly once for
 // arbitrary grain sizes.
 func TestQuickCoverage(t *testing.T) {
-	rt := sched.New(sched.Workers(4))
+	rt := sched.New(sched.WithWorkers(4))
 	defer rt.Shutdown()
 	f := func(nRaw, grainRaw uint16) bool {
 		n := int(nRaw) % 3000
@@ -203,7 +203,7 @@ func BenchmarkForOverhead(b *testing.B) {
 }
 
 func TestReduceSum(t *testing.T) {
-	rt := sched.New(sched.Workers(8))
+	rt := sched.New(sched.WithWorkers(8))
 	defer rt.Shutdown()
 	var got int64
 	err := rt.Run(func(c *sched.Context) {
@@ -222,7 +222,7 @@ func TestReduceSum(t *testing.T) {
 
 func TestReduceOrderedConcat(t *testing.T) {
 	// A non-commutative monoid proves the fold happens in index order.
-	rt := sched.New(sched.Workers(8))
+	rt := sched.New(sched.WithWorkers(8))
 	defer rt.Shutdown()
 	var got []int
 	err := rt.Run(func(c *sched.Context) {
@@ -245,7 +245,7 @@ func TestReduceOrderedConcat(t *testing.T) {
 }
 
 func TestReduceEmptyRange(t *testing.T) {
-	rt := sched.New(sched.Workers(2))
+	rt := sched.New(sched.WithWorkers(2))
 	defer rt.Shutdown()
 	var got int
 	err := rt.Run(func(c *sched.Context) {

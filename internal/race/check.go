@@ -29,7 +29,7 @@ func CheckSPOrder(program func(c *sched.Context, d *Detector)) ([]Report, error)
 func checkWith(d *Detector, program func(c *sched.Context, d *Detector)) ([]Report, error) {
 	cilklock.SetObserver(d)
 	defer cilklock.SetObserver(nil)
-	rt := sched.New(sched.SerialElision(), sched.WithHooks(d.Hooks()))
+	rt := sched.New(sched.WithSerialElision(), sched.WithHooks(d.Hooks()))
 	err := rt.Run(func(c *sched.Context) { program(c, d) })
 	return d.Reports(), err
 }

@@ -151,6 +151,9 @@ func (c *Context) Err() error {
 // no strand of the computation is still executing when it returns.
 //
 // Run is exactly RunCtx(context.Background(), fn).
+//
+// Deprecated: use Submit — RunCtx(ctx, fn) is Submit(ctx, fn) followed by
+// Ticket.Wait (with submission-time errors folded into the same return).
 func (rt *Runtime) RunCtx(ctx context.Context, fn func(*Context)) error {
 	_, err := rt.run(ctx, fn, false)
 	return err
@@ -159,6 +162,8 @@ func (rt *Runtime) RunCtx(ctx context.Context, fn func(*Context)) error {
 // RunWithStatsCtx is RunWithStats under a context, with RunCtx's
 // cancellation semantics. The returned Stats covers the work the
 // computation actually did before completing or being abandoned.
+//
+// Deprecated: use Submit with WithStats, then Ticket.Wait and Ticket.Stats.
 func (rt *Runtime) RunWithStatsCtx(ctx context.Context, fn func(*Context)) (Stats, error) {
 	return rt.run(ctx, fn, true)
 }

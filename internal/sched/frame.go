@@ -280,6 +280,46 @@ type runState struct {
 	// wall-clock submission time, set only when clock is armed.
 	clock *runClock
 	start time.Time
+
+	// Serving-layer identity and lifecycle (see submit.go). tenant, qos,
+	// prio, and memEst echo the submission's options; enqNs/pickedNs are
+	// the root's lane enqueue and pickup timestamps (rt.nanots), pickedNs
+	// zero until pickup. picked is the admission state machine's
+	// queued→running flag, guarded by the admission mutex. stop (the
+	// context watcher plus any time-budget cancel) is installed before the
+	// root is published and released exactly once via releaseOnce —
+	// worker-side at finish, or by the submitter when submission fails.
+	tenant      string
+	qos         QoSClass
+	prio        int
+	memEst      int64
+	enqNs       int64
+	pickedNs    int64
+	picked      bool
+	stop        func()
+	releaseOnce sync.Once
+}
+
+// queueLatency reports how long the root waited for pickup (0 until picked).
+func (rs *runState) queueLatency() time.Duration {
+	if rs.pickedNs == 0 {
+		return 0
+	}
+	return time.Duration(rs.pickedNs - rs.enqNs)
+}
+
+// release stops the run's context watcher and returns its admission
+// reservation, exactly once. Called worker-side from finish so that
+// fire-and-forget tickets still release their resources, and directly on
+// submission paths that never reach finish (serial elision, shut-down
+// runtime).
+func (rs *runState) release() {
+	rs.releaseOnce.Do(func() {
+		if rs.stop != nil {
+			rs.stop()
+		}
+		rs.rt.adm.release(rs)
+	})
 }
 
 // runCounters are the per-computation analogue of workerStats: updated by
@@ -336,13 +376,18 @@ func (rs *runState) poison(v any) {
 	rs.cancelWith(errSiblingPanic)
 }
 
-// finish marks the run complete and releases the Run caller. When the last
-// active run drains it broadcasts, so workers that parked mid-run (the hunt's
-// third phase) re-check the exit condition — without this, a Shutdown issued
-// while the run was still active would wait forever on workers that parked
-// after its broadcast.
+// finish marks the run complete and releases everyone awaiting its Ticket.
+// It first releases the run's resources (context watcher, admission
+// reservation), then retires it from the active table — when the last
+// active run drains it broadcasts, so workers that parked mid-run (the
+// hunt's third phase) re-check the exit condition; without this, a Shutdown
+// issued while the run was still active would wait forever on workers that
+// parked after its broadcast. The observer's RunEnd fires strictly before
+// the done channel closes, so a caller returning from Ticket.Wait always
+// finds its run already reported.
 func (rs *runState) finish() {
 	rt := rs.rt
+	rs.release()
 	rt.mu.Lock()
 	rt.activeRoots--
 	delete(rt.active, rs)
@@ -350,6 +395,9 @@ func (rs *runState) finish() {
 		rt.cond.Broadcast()
 	}
 	rt.mu.Unlock()
+	if obs := rt.cfg.observer; obs != nil {
+		obs.RunEnd(rt.report(rs, rs.snapshot(), rs.err()))
+	}
 	close(rs.done)
 }
 

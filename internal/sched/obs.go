@@ -52,16 +52,23 @@ type RunReport struct {
 	// Stats is the run's final per-computation snapshot; Stats.Work and
 	// Stats.Span carry the online work/span measurement.
 	Stats Stats
-	// Err is what Run returned: nil, a cancellation sentinel, or a
+	// Err is what the run reported: nil, a cancellation sentinel, or a
 	// *PanicError.
 	Err error
+	// Tenant and Class echo the submission's WithTenant/WithQoS options
+	// ("" and QoSBatch for the legacy Run entry points); Queued is how long
+	// the root waited in its injection lane before pickup.
+	Tenant string
+	Class  QoSClass
+	Queued time.Duration
 }
 
 // RunObserver receives per-run lifecycle callbacks from the runtime. Both
-// methods may be called concurrently (Runs overlap) and must not block the
+// methods may be called concurrently (runs overlap) and must not block the
 // scheduler: RunStart fires on the submitting goroutine before the root is
-// injected, RunEnd on the submitting goroutine after the run drains.
-// internal/obs.Registry is the canonical implementation.
+// injected, RunEnd on the worker completing the run's root, strictly before
+// the run's Ticket settles (so a caller returning from Wait finds the run
+// reported). internal/obs.Registry is the canonical implementation.
 type RunObserver interface {
 	RunStart(id int64, start time.Time)
 	RunEnd(RunReport)

@@ -10,7 +10,7 @@ import (
 // TestPanicInDeeplyNestedChildDrains: a panic deep in the spawn tree must
 // surface as a PanicError only after every outstanding task has finished.
 func TestPanicInDeeplyNestedChildDrains(t *testing.T) {
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	var completed atomic.Int64
 	const width, depth = 4, 5
@@ -50,7 +50,7 @@ func TestPanicInDeeplyNestedChildDrains(t *testing.T) {
 // TestPanicInMergeDuringFold: a panic thrown by a reducer's Merge while the
 // runtime folds views at a sync is captured like any other panic.
 func TestPanicInMergeDuringFold(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	defer rt.Shutdown()
 	key := &poisonKey{}
 	err := rt.Run(func(c *Context) {
@@ -80,7 +80,7 @@ func (*poisonView) Merge(View) View { panic("merge exploded") }
 
 // TestShutdownIdempotent: calling Shutdown more than once is safe.
 func TestShutdownIdempotent(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	rt.Shutdown()
 	rt.Shutdown()
 }
@@ -89,7 +89,7 @@ func TestShutdownIdempotent(t *testing.T) {
 // no workers that would deadlock later runs.
 func TestManyRuntimesSequential(t *testing.T) {
 	for i := 0; i < 30; i++ {
-		rt := New(Workers(3))
+		rt := New(WithWorkers(3))
 		var out int64
 		if err := rt.Run(func(c *Context) { fib(c, 10, &out) }); err != nil {
 			t.Fatal(err)
@@ -101,7 +101,7 @@ func TestManyRuntimesSequential(t *testing.T) {
 // TestNestedCallDepth: deeply nested Call frames track depth and fold views
 // through every level.
 func TestNestedCallDepth(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	defer rt.Shutdown()
 	key := &fakeKey{}
 	const depth = 400
@@ -131,7 +131,7 @@ func TestNestedCallDepth(t *testing.T) {
 // documented as strand-confined. Instead verify the supported pattern —
 // separate Run calls from separate goroutines — under load.
 func TestConcurrentRunsStress(t *testing.T) {
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	const runs = 24
 	errs := make(chan error, runs)
@@ -156,7 +156,7 @@ func TestConcurrentRunsStress(t *testing.T) {
 // TestStatsQuiescentConsistency: after all runs finish, every spawned task
 // has run and live-frame counters have returned to zero.
 func TestStatsQuiescentConsistency(t *testing.T) {
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	var out int64
 	for i := 0; i < 5; i++ {
 		if err := rt.Run(func(c *Context) { fib(c, 16, &out) }); err != nil {
@@ -177,7 +177,7 @@ func TestStatsQuiescentConsistency(t *testing.T) {
 
 // TestZeroWorkRun: an empty computation completes and reports clean stats.
 func TestZeroWorkRun(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	defer rt.Shutdown()
 	if err := rt.Run(func(*Context) {}); err != nil {
 		t.Fatal(err)

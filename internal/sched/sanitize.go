@@ -276,10 +276,14 @@ func (rt *Runtime) sanVerifyDrained() {
 		}
 	}
 	rt.mu.Lock()
-	inject, roots, parked := len(rt.inject), rt.activeRoots, rt.parked.Load()
+	inject, roots, parked := rt.queuedRoots(), rt.activeRoots, rt.parked.Load()
+	gauge := rt.injected.Load()
 	rt.mu.Unlock()
 	if inject != 0 {
 		rt.sanViolation("shutdown stranded %d injected root tasks", inject)
+	}
+	if gauge != int64(inject) {
+		rt.sanViolation("shutdown: injected gauge %d disagrees with %d queued roots in lanes", gauge, inject)
 	}
 	if roots != 0 {
 		rt.sanViolation("shutdown with %d computations still active", roots)
@@ -305,7 +309,7 @@ func (rt *Runtime) progressCount() int64 {
 func (rt *Runtime) outstandingWork() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.activeRoots > 0 || len(rt.inject) > 0
+	return rt.activeRoots > 0 || rt.injected.Load() > 0
 }
 
 // anyWorkerRunning reports whether some worker is executing user code. A
@@ -390,7 +394,7 @@ func (s *sanState) watchdog(rt *Runtime) {
 func (rt *Runtime) dumpState() string {
 	var b strings.Builder
 	rt.mu.Lock()
-	inject, roots, parked := len(rt.inject), rt.activeRoots, rt.parked.Load()
+	inject, roots, parked := int(rt.injected.Load()), rt.activeRoots, rt.parked.Load()
 	runs := make([]int64, 0, len(rt.active))
 	for rs := range rt.active {
 		runs = append(runs, rs.id)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -451,5 +452,84 @@ func TestSanDisabledZeroImpact(t *testing.T) {
 	}
 	if _, ok := rt.Metrics()["san_violations"]; ok {
 		t.Fatal("sanitizer metrics published without a sanitizer")
+	}
+}
+
+// TestSanWatchdogRescuesLaneStorm is the sharded-lane variant of
+// TestSanWatchdogCatchesBrokenWakeup: with the root-injection Signal
+// suppressed, a multi-tenant, mixed-QoS Submit storm lands across several
+// lanes while every worker is parked. The stall watchdog must notice the
+// queued roots (the rt.injected gauge) and its rescue broadcast must drain
+// every lane — each ticket completes exactly once with a correct result.
+func TestSanWatchdogRescuesLaneStorm(t *testing.T) {
+	opts := schedsan.Options{
+		Invariants:      true,
+		StallAfter:      40 * time.Millisecond,
+		BreakInjectWake: true,
+	}
+	rt := New(WithWorkers(4), WithSanitize(opts))
+	defer rt.Shutdown()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.parked.Load() != 4 {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("workers never parked: %d of 4", rt.parked.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	type sub struct {
+		tk   *Ticket
+		got  *int64
+		runs *atomic.Int64
+	}
+	tenants := []string{"alpha", "beta", ""}
+	var subs []sub
+	for i := 0; i < 12; i++ {
+		got := new(int64)
+		runs := new(atomic.Int64)
+		tk, err := rt.Submit(context.Background(), func(c *Context) {
+			runs.Add(1)
+			fib(c, 10, got)
+		},
+			WithTenant(tenants[i%len(tenants)]),
+			WithQoS(QoSClass(i%numQoS)),
+			WithPriority(i%5),
+		)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		subs = append(subs, sub{tk, got, runs})
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for _, s := range subs {
+			if err := s.tk.Wait(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watchdog failed to rescue the lane storm")
+	}
+	want := fibSerial(10)
+	for i, s := range subs {
+		if n := s.runs.Load(); n != 1 {
+			t.Fatalf("root %d ran %d times, want exactly once", i, n)
+		}
+		if *s.got != want {
+			t.Fatalf("root %d: fib(10) = %d, want %d", i, *s.got, want)
+		}
+	}
+	if n := rt.Stats().Stalls; n < 1 {
+		t.Fatalf("Stats.Stalls = %d, want >= 1", n)
 	}
 }

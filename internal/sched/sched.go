@@ -40,15 +40,17 @@ import (
 
 // config collects the options for a Runtime.
 type config struct {
-	workers     int
-	serial      bool
-	hooks       Hooks
-	stealSeed   int64
-	lockThreads bool
-	trace       bool
-	traceOpts   []TraceOption
-	sanitize    *schedsan.Options
-	observer    RunObserver
+	workers      int
+	serial       bool
+	hooks        Hooks
+	stealSeed    int64
+	lockThreads  bool
+	trace        bool
+	traceOpts    []TraceOption
+	sanitize     *schedsan.Options
+	observer     RunObserver
+	admission    *AdmissionConfig
+	legacyInject bool
 }
 
 // Option configures a Runtime.
@@ -102,37 +104,9 @@ func WithTracing(opts ...TraceOption) Option {
 	}
 }
 
-// Deprecated option aliases: the pre-redesign names, kept as thin wrappers
-// so existing callers keep compiling. New code should use the uniform
-// With-prefixed forms above.
-
-// Workers sets the number of workers.
-//
-// Deprecated: use WithWorkers.
-func Workers(n int) Option { return WithWorkers(n) }
-
-// SerialElision selects serial-elision execution.
-//
-// Deprecated: use WithSerialElision.
-func SerialElision() Option { return WithSerialElision() }
-
-// StealSeed seeds random victim selection.
-//
-// Deprecated: use WithStealSeed.
-func StealSeed(seed int64) Option { return WithStealSeed(seed) }
-
-// NoThreadLocking disables runtime.LockOSThread on workers.
-//
-// Deprecated: use WithNoThreadLocking.
-func NoThreadLocking() Option { return WithNoThreadLocking() }
-
-// Tracing equips the runtime with a per-worker event tracer.
-//
-// Deprecated: use WithTracing.
-func Tracing(opts ...TraceOption) Option { return WithTracing(opts...) }
-
 // Runtime is a Cilk work-stealing scheduler instance. Construct with New,
-// submit computations with Run, and release the workers with Shutdown.
+// submit computations with Submit (or the legacy Run wrappers), and release
+// the workers with Shutdown.
 type Runtime struct {
 	cfg     config
 	workers []*worker
@@ -160,9 +134,22 @@ type Runtime struct {
 	// one atomic load here and nothing else.
 	parked atomic.Int32
 
+	// Root-injection path (see inject.go and submit.go): one lane per
+	// worker, each a per-QoS-class queue drained by weighted deficit
+	// round-robin. injected counts queued roots across all lanes — the
+	// one-atomic-load fast path an idle worker's sweep checks before
+	// touching any lane lock — and queuedByClass breaks it down for
+	// LoadReport. laneRR round-robins unlabeled submissions across lanes.
+	// adm is the admission-control state (always present; limits armed only
+	// by WithAdmission).
+	lanes         []*injectLane
+	laneRR        atomic.Uint64
+	injected      atomic.Int64
+	queuedByClass [numQoS]atomic.Int64
+	adm           *admission
+
 	mu          sync.Mutex
 	cond        *sync.Cond
-	inject      []*task // root tasks awaiting pickup
 	active      map[*runState]struct{}
 	activeRoots int
 	closed      bool
@@ -181,7 +168,7 @@ func New(opts ...Option) *Runtime {
 		o(&cfg)
 	}
 	if cfg.workers < 1 {
-		panic(fmt.Sprintf("sched: Workers(%d) out of range", cfg.workers))
+		panic(fmt.Sprintf("sched: WithWorkers(%d) out of range", cfg.workers))
 	}
 	if cfg.hooks != nil && !cfg.serial {
 		panic("sched: WithHooks requires SerialElision")
@@ -197,8 +184,13 @@ func New(opts ...Option) *Runtime {
 	}
 	rt := &Runtime{cfg: cfg, active: make(map[*runState]struct{}), obsEpoch: time.Now()}
 	rt.cond = sync.NewCond(&rt.mu)
+	rt.adm = newAdmission(cfg.admission)
 	if cfg.serial {
 		return rt
+	}
+	rt.lanes = make([]*injectLane, cfg.workers)
+	for i := range rt.lanes {
+		rt.lanes[i] = &injectLane{}
 	}
 	if cfg.observer != nil {
 		rt.obsH = newObsHist()
@@ -254,6 +246,9 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
 // workers (§3.2's performance composability). Run is
 // RunCtx(context.Background(), fn); use RunCtx for cancellation and
 // deadlines.
+//
+// Deprecated: use Submit, which subsumes all four Run entry points —
+// Run(fn) is Submit(context.Background(), fn) followed by Ticket.Wait.
 func (rt *Runtime) Run(fn func(*Context)) error {
 	_, err := rt.run(context.Background(), fn, false)
 	return err
@@ -267,78 +262,23 @@ func (rt *Runtime) Run(fn func(*Context)) error {
 // failed probes cannot be attributed to any one computation. The extra
 // accounting costs a few per-run atomic increments; plain Run pays only a
 // nil check per site.
+//
+// Deprecated: use Submit with WithStats — RunWithStats(fn) is
+// Submit(context.Background(), fn, WithStats()) followed by Ticket.Wait and
+// Ticket.Stats.
 func (rt *Runtime) RunWithStats(fn func(*Context)) (Stats, error) {
 	return rt.run(context.Background(), fn, true)
 }
 
+// run is the shared body of the four legacy entry points: Submit with
+// default options, awaited inline.
 func (rt *Runtime) run(ctx context.Context, fn func(*Context), track bool) (Stats, error) {
-	if err := ctx.Err(); err != nil {
-		return Stats{}, mapCtxErr(err)
+	tk, err := rt.submit(ctx, fn, submitCfg{qos: QoSBatch, track: track})
+	if err != nil {
+		return Stats{}, err
 	}
-	rs := &runState{id: rt.runIDs.Add(1), rt: rt, done: make(chan struct{})}
-	obs := rt.cfg.observer
-	if track || obs != nil {
-		// Observation implies per-run accounting: the observer's report
-		// carries the run's Stats (spawns, steals, …) alongside work/span.
-		rs.stats = &runCounters{}
-	}
-	if obs != nil {
-		rs.clock = &runClock{}
-		rs.start = time.Now()
-		obs.RunStart(rs.id, rs.start)
-	}
-	if rt.cfg.serial {
-		stop := rs.watch(ctx)
-		err := rt.runSerial(fn, rs)
-		stop()
-		if cl := rs.clock; cl != nil {
-			// The serial elision is one strand: work and span are both its
-			// wall-clock duration (T1 = T∞ by definition).
-			d := int64(time.Since(rs.start))
-			cl.work.Store(d)
-			cl.span.Store(d)
-		}
-		snap := rs.snapshot()
-		if obs != nil {
-			obs.RunEnd(RunReport{ID: rs.id, Start: rs.start, End: time.Now(), Stats: snap, Err: err})
-		}
-		return snap, err
-	}
-	root := newFrame(nil, rs, 0, 0)
-	t := newTask(fn, root)
-
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		freeTask(t)
-		freeFrame(root)
-		if obs != nil {
-			obs.RunEnd(RunReport{ID: rs.id, Start: rs.start, End: time.Now(), Err: ErrShutdown})
-		}
-		return Stats{}, ErrShutdown
-	}
-	rt.activeRoots++
-	rt.active[rs] = struct{}{}
-	rt.inject = append(rt.inject, t)
-	if s := rt.san; s != nil && s.opts.BreakInjectWake {
-		// Deliberately broken root announcement (test-only): the new work is
-		// visible in the injection queue but no parked worker is told. This
-		// is the one fault that genuinely stalls the runtime — the watchdog
-		// acceptance test uses it to exercise detection and rescue.
-	} else {
-		rt.cond.Broadcast()
-	}
-	rt.mu.Unlock()
-
-	stop := rs.watch(ctx)
-	<-rs.done
-	stop()
-	rt.sanRunQuiescence(rs)
-	snap, err := rs.snapshot(), rs.err()
-	if obs != nil {
-		obs.RunEnd(RunReport{ID: rs.id, Start: rs.start, End: time.Now(), Stats: snap, Err: err})
-	}
-	return snap, err
+	err = tk.Wait()
+	return tk.Stats(), err
 }
 
 // runSerial executes fn's serial elision on the caller's goroutine.
@@ -539,22 +479,36 @@ func (w *worker) findTask() *task {
 	return w.stealOnce()
 }
 
+// takeInjected sweeps the injection lanes for a queued root, starting at
+// this worker's own lane (tenant-hashed submissions land on a stable lane,
+// so the worker warm with a tenant's state probes that tenant's lane first).
+// The empty-path cost is one atomic load of rt.injected — no mutex — which
+// is what lets every idle worker probe the injection path on every sweep
+// without serializing on a global lock the way the old single FIFO did.
 func (w *worker) takeInjected() *task {
 	rt := w.rt
-	rt.mu.Lock()
-	if len(rt.inject) == 0 {
-		rt.mu.Unlock()
+	if rt.injected.Load() == 0 {
 		return nil
 	}
-	t := rt.inject[0]
-	// Nil out the popped head: the backing array survives the reslice, and
-	// without this it would retain the root task (and its whole frame tree)
-	// until the slice is reallocated.
-	rt.inject[0] = nil
-	rt.inject = rt.inject[1:]
-	rt.mu.Unlock()
-	w.rec.InjectPickup()
-	return t
+	n := len(rt.lanes)
+	for i := 0; i < n; i++ {
+		if t := rt.lanes[(w.id+i)%n].pop(); t != nil {
+			rt.injected.Add(-1)
+			rt.rootPicked(t.frame.run)
+			w.rec.InjectPickup()
+			return t
+		}
+	}
+	return nil
+}
+
+// rootPicked records a root's transit from queued to running: per-class
+// queue gauges, the Ticket's queue-latency clock, and the admission state
+// machine's queued→running transition.
+func (rt *Runtime) rootPicked(rs *runState) {
+	rt.queuedByClass[rs.qos].Add(-1)
+	rs.pickedNs = rt.nanots()
+	rt.adm.picked(rs)
 }
 
 // stealOnce performs one sweep over the other workers, returning the first
@@ -674,10 +628,12 @@ func (rt *Runtime) wake() {
 // re-checks under the lock here), so the pushed work is always executed or
 // re-exposed by its producer even if every parked worker sleeps through it.
 // The regression test TestSanDropWakeLiveness pins this argument by
-// dropping every spawn-path wake and requiring runs to complete. Only the
-// root-injection broadcast lacks a producer that will execute the work
-// itself, which is why run() takes the mutex and broadcasts uncondition-
-// ally — and why schedsan treats that one wakeup as unloseable (its loss,
+// dropping every spawn-path wake and requiring runs to complete. Only a
+// root injection lacks a producer that will execute the work itself, which
+// is why Submit pairs the lane enqueue with an unconditional Signal under
+// rt.mu — paired with the parker's rt.injected re-check below, also under
+// rt.mu, that wakeup cannot be lost (the full argument is in submit.go) —
+// and why schedsan treats it as unloseable (its loss,
 // Options.BreakInjectWake, is a genuine stall reserved for watchdog tests).
 func (rt *Runtime) stealableWork() bool {
 	for _, v := range rt.workers {
@@ -701,14 +657,18 @@ func (w *worker) park() bool {
 	w.san.Delay(schedsan.PointPark)
 	rt.mu.Lock()
 	for {
-		if rt.closed && rt.activeRoots == 0 && len(rt.inject) == 0 {
+		if rt.closed && rt.activeRoots == 0 && rt.injected.Load() == 0 {
 			rt.mu.Unlock()
 			if rt.sanChecks() && !w.deque.Empty() {
 				rt.sanViolation("worker %d exiting with %d tasks in its deque", w.id, w.deque.Size())
 			}
 			return false
 		}
-		if len(rt.inject) > 0 || rt.stealableWork() {
+		// The rt.injected re-check under rt.mu is the parker's half of the
+		// injection wake guarantee (see submit.go): a root enqueued before we
+		// took the mutex is visible here, and one enqueued after will find us
+		// already waiting when its Signal fires.
+		if rt.injected.Load() > 0 || rt.stealableWork() {
 			rt.mu.Unlock()
 			return true
 		}

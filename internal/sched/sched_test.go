@@ -30,7 +30,7 @@ func fibSerial(n int) int64 {
 
 func TestFibParallel(t *testing.T) {
 	for _, p := range []int{1, 2, 4, 8} {
-		rt := New(Workers(p))
+		rt := New(WithWorkers(p))
 		var got int64
 		if err := rt.Run(func(c *Context) { fib(c, 20, &got) }); err != nil {
 			t.Fatalf("P=%d: Run: %v", p, err)
@@ -43,7 +43,7 @@ func TestFibParallel(t *testing.T) {
 }
 
 func TestFibSerialElision(t *testing.T) {
-	rt := New(SerialElision())
+	rt := New(WithSerialElision())
 	var got int64
 	if err := rt.Run(func(c *Context) { fib(c, 18, &got) }); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -56,7 +56,7 @@ func TestFibSerialElision(t *testing.T) {
 func TestSpawnWithoutSyncImpliesJoinAtReturn(t *testing.T) {
 	// §1: every Cilk function syncs implicitly before it returns. A frame
 	// that spawns and returns without an explicit Sync must still join.
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	var n atomic.Int64
 	err := rt.Run(func(c *Context) {
@@ -76,7 +76,7 @@ func TestSpawnWithoutSyncImpliesJoinAtReturn(t *testing.T) {
 func TestManyFlatSpawns(t *testing.T) {
 	// The §3.1 loop example, scaled: a single frame spawning a large number
 	// of children. This also exercises deque growth under stealing.
-	rt := New(Workers(8))
+	rt := New(WithWorkers(8))
 	defer rt.Shutdown()
 	const n = 200000
 	var sum atomic.Int64
@@ -97,7 +97,7 @@ func TestManyFlatSpawns(t *testing.T) {
 
 func TestDeepSpawnChain(t *testing.T) {
 	// A long spawn chain exercises frame depth bookkeeping.
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	const depth = 20000
 	var reached atomic.Int64
@@ -125,7 +125,7 @@ func TestSyncIsLocalBarrier(t *testing.T) {
 	// §1: cilk_sync is a local barrier. A sync in one frame must not wait
 	// for children of other frames. We check that a sibling's sync
 	// completes even while a long-running child of another frame is active.
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	release := make(chan struct{})
 	var order []string
@@ -161,7 +161,7 @@ func (c *chanOrder) add(order *[]string, s string) {
 }
 
 func TestPanicPropagation(t *testing.T) {
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	var after atomic.Int64
 	err := rt.Run(func(c *Context) {
@@ -183,7 +183,7 @@ func TestPanicPropagation(t *testing.T) {
 }
 
 func TestPanicSerialElision(t *testing.T) {
-	rt := New(SerialElision())
+	rt := New(WithSerialElision())
 	err := rt.Run(func(c *Context) {
 		c.Spawn(func(*Context) { panic(42) })
 		c.Sync()
@@ -200,7 +200,7 @@ func TestPanicSerialElision(t *testing.T) {
 func TestConcurrentRuns(t *testing.T) {
 	// §3.2 performance composability: multiple computations share the
 	// workers and all complete.
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	const k = 8
 	results := make([]int64, k)
@@ -225,7 +225,7 @@ func TestConcurrentRuns(t *testing.T) {
 }
 
 func TestRunAfterShutdown(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	rt.Shutdown()
 	if err := rt.Run(func(*Context) {}); err != ErrShutdown {
 		t.Fatalf("err = %v, want ErrShutdown", err)
@@ -233,7 +233,7 @@ func TestRunAfterShutdown(t *testing.T) {
 }
 
 func TestStatsCounting(t *testing.T) {
-	rt := New(Workers(4), StealSeed(7))
+	rt := New(WithWorkers(4), WithStealSeed(7))
 	var out int64
 	if err := rt.Run(func(c *Context) { fib(c, 22, &out) }); err != nil {
 		t.Fatal(err)
@@ -256,7 +256,7 @@ func TestStatsCounting(t *testing.T) {
 
 func TestHooksSerialOrder(t *testing.T) {
 	rec := &recorderHooks{}
-	rt := New(SerialElision(), WithHooks(rec))
+	rt := New(WithSerialElision(), WithHooks(rec))
 	err := rt.Run(func(c *Context) {
 		c.Spawn(func(c *Context) {
 			c.Spawn(func(*Context) {})
@@ -299,7 +299,7 @@ func TestCallScopesSync(t *testing.T) {
 	// A sync inside a called frame must join only the called frame's own
 	// children; the caller's pending children are untouched (Cilk calls
 	// open a fresh sync scope).
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	var slowDone, callSawSlowDone atomic.Bool
 	release := make(chan struct{})
@@ -329,7 +329,7 @@ func TestCallScopesSync(t *testing.T) {
 
 func TestCallHookOrder(t *testing.T) {
 	rec := &recorderHooks{}
-	rt := New(SerialElision(), WithHooks(rec))
+	rt := New(WithSerialElision(), WithHooks(rec))
 	err := rt.Run(func(c *Context) {
 		c.Call(func(c *Context) {
 			c.Spawn(func(*Context) {})
@@ -355,7 +355,7 @@ func TestCallViewsFlowThrough(t *testing.T) {
 	// Views accumulated before, inside, and after a Call fold in serial
 	// order: the called frame is serially part of the calling strand.
 	for _, p := range []int{1, 4} {
-		rt := New(Workers(p), StealSeed(5))
+		rt := New(WithWorkers(p), WithStealSeed(5))
 		key := &fakeKey{}
 		err := rt.Run(func(c *Context) {
 			appendView(c, key, "a")
@@ -382,16 +382,16 @@ func TestHooksRequireSerial(t *testing.T) {
 			t.Fatal("New(WithHooks) without SerialElision should panic")
 		}
 	}()
-	New(Workers(2), WithHooks(NopHooks{}))
+	New(WithWorkers(2), WithHooks(NopHooks{}))
 }
 
 func TestWorkersValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New(Workers(0)) should panic")
+			t.Fatal("New(WithWorkers(0)) should panic")
 		}
 	}()
-	New(Workers(0))
+	New(WithWorkers(0))
 }
 
 // fakeView is a minimal View for testing fold ordering at the sched level.
@@ -431,7 +431,7 @@ func TestViewFoldSerialOrder(t *testing.T) {
 	}
 	for _, p := range []int{1, 2, 8} {
 		for seed := int64(0); seed < 10; seed++ {
-			rt := New(Workers(p), StealSeed(seed))
+			rt := New(WithWorkers(p), WithStealSeed(seed))
 			key := &fakeKey{}
 			if err := rt.Run(func(c *Context) { program(c, key) }); err != nil {
 				t.Fatal(err)
@@ -463,7 +463,7 @@ func TestViewFoldRecursive(t *testing.T) {
 		want += fmt.Sprintf("%d.", i)
 	}
 	for _, p := range []int{1, 4} {
-		rt := New(Workers(p), StealSeed(99))
+		rt := New(WithWorkers(p), WithStealSeed(99))
 		key := &fakeKey{}
 		if err := rt.Run(func(c *Context) { walk(c, key, 0, 64) }); err != nil {
 			t.Fatal(err)
@@ -492,9 +492,9 @@ func TestViewFoldSerialElisionMatchesParallel(t *testing.T) {
 		}
 		return key.final.Load().s
 	}
-	serial := New(SerialElision())
+	serial := New(WithSerialElision())
 	want := run(serial)
-	par := New(Workers(6))
+	par := New(WithWorkers(6))
 	got := run(par)
 	par.Shutdown()
 	if got != want {
@@ -503,7 +503,7 @@ func TestViewFoldSerialElisionMatchesParallel(t *testing.T) {
 }
 
 func BenchmarkSpawnSyncPingPong(b *testing.B) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	defer rt.Shutdown()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -181,6 +182,22 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		// cause) and panics quarantined across all runs.
 		"runs_canceled":      rt.runsCanceled.Load(),
 		"panics_quarantined": rt.panicsQuarantined.Load(),
+		// Serving-layer gauges and counters (see submit.go): roots queued in
+		// injection lanes right now, and cumulative admission outcomes.
+		"inject_queued": rt.injected.Load(),
+	}
+	if a := rt.adm; a != nil {
+		a.mu.Lock()
+		m["runs_running"] = int64(a.running)
+		m["admission_admitted"] = a.admitted
+		m["admission_rejected_load"] = a.rejectedLoad
+		m["admission_rejected_quota"] = a.rejectedQuota
+		a.mu.Unlock()
+	}
+	for c := 0; c < numQoS; c++ {
+		// Underscored class names: these keys feed the Prometheus exposition,
+		// whose metric names admit neither dots nor dashes.
+		m["queued_"+strings.ReplaceAll(QoSClass(c).String(), "-", "_")] = rt.queuedByClass[c].Load()
 	}
 	if s.Stalls > 0 || rt.san != nil {
 		m["stalls"] = s.Stalls

@@ -1,0 +1,457 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubmitMatchesRun is the redesign's equivalence property: Submit with
+// default options followed by Wait is bit-identical to the legacy entry
+// points — same computed result, same reducer fold order, same per-run Stats
+// for the schedule-independent counters, across worker counts and steal
+// seeds.
+func TestSubmitMatchesRun(t *testing.T) {
+	program := func(c *Context, key *fakeKey, out *int64) {
+		appendView(c, key, "a")
+		c.Spawn(func(c *Context) { appendView(c, key, "b") })
+		appendView(c, key, "c")
+		var f int64
+		fib(c, 12, &f)
+		c.Sync()
+		appendView(c, key, "d")
+		*out = f
+	}
+	for _, p := range []int{1, 2, 8} {
+		for seed := int64(0); seed < 5; seed++ {
+			// Legacy path.
+			rt1 := New(WithWorkers(p), WithStealSeed(seed))
+			key1 := &fakeKey{}
+			var got1 int64
+			st1, err1 := rt1.RunWithStats(func(c *Context) { program(c, key1, &got1) })
+			rt1.Shutdown()
+
+			// Submit path, default options.
+			rt2 := New(WithWorkers(p), WithStealSeed(seed))
+			key2 := &fakeKey{}
+			var got2 int64
+			tk, err := rt2.Submit(context.Background(),
+				func(c *Context) { program(c, key2, &got2) }, WithStats())
+			if err != nil {
+				t.Fatalf("P=%d seed=%d: Submit: %v", p, seed, err)
+			}
+			err2 := tk.Wait()
+			st2 := tk.Stats()
+			rt2.Shutdown()
+
+			if err1 != nil || err2 != nil {
+				t.Fatalf("P=%d seed=%d: errs %v vs %v", p, seed, err1, err2)
+			}
+			if got1 != got2 {
+				t.Fatalf("P=%d seed=%d: results %d vs %d", p, seed, got1, got2)
+			}
+			f1, f2 := key1.final.Load(), key2.final.Load()
+			if f1 == nil || f2 == nil || f1.s != f2.s {
+				t.Fatalf("P=%d seed=%d: fold order %v vs %v", p, seed, f1, f2)
+			}
+			// Steals and max-gauges are schedule-dependent; these are not.
+			if st1.Spawns != st2.Spawns || st1.TasksRun != st2.TasksRun || st1.TasksSkipped != st2.TasksSkipped {
+				t.Fatalf("P=%d seed=%d: stats diverge: Run %+v vs Submit %+v", p, seed, st1, st2)
+			}
+		}
+	}
+}
+
+// TestSubmitSentinels: Submit reports submission-time failures itself with
+// the same sentinels the legacy entry points used, and run-time failures
+// through the Ticket.
+func TestSubmitSentinels(t *testing.T) {
+	t.Run("pre-canceled context", func(t *testing.T) {
+		rt := New(WithWorkers(2))
+		defer rt.Shutdown()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := rt.Submit(ctx, func(*Context) {}); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit(canceled ctx) = %v, want ErrCanceled", err)
+		}
+	})
+	t.Run("expired deadline", func(t *testing.T) {
+		rt := New(WithWorkers(2))
+		defer rt.Shutdown()
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		if _, err := rt.Submit(ctx, func(*Context) {}); !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Submit(expired ctx) = %v, want ErrDeadlineExceeded", err)
+		}
+	})
+	t.Run("cancel in flight", func(t *testing.T) {
+		rt := New(WithWorkers(2))
+		defer rt.Shutdown()
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{})
+		tk, err := rt.Submit(ctx, func(c *Context) {
+			close(started)
+			for !c.Cancelled() {
+				time.Sleep(time.Millisecond)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-started
+		cancel()
+		if err := tk.Wait(); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Wait after cancel = %v, want ErrCanceled", err)
+		}
+	})
+	t.Run("time budget", func(t *testing.T) {
+		rt := New(WithWorkers(2))
+		defer rt.Shutdown()
+		tk, err := rt.Submit(context.Background(), func(c *Context) {
+			for !c.Cancelled() {
+				time.Sleep(time.Millisecond)
+			}
+		}, WithTimeBudget(20*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Wait(); !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("Wait after time budget = %v, want ErrDeadlineExceeded", err)
+		}
+	})
+	t.Run("submit after shutdown", func(t *testing.T) {
+		rt := New(WithWorkers(2))
+		rt.Shutdown()
+		if _, err := rt.Submit(context.Background(), func(*Context) {}); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("Submit after Shutdown = %v, want ErrShutdown", err)
+		}
+	})
+	t.Run("shutdown drain abandons in-flight", func(t *testing.T) {
+		rt := New(WithWorkers(2))
+		started := make(chan struct{})
+		var once sync.Once
+		tk, err := rt.Submit(context.Background(), func(c *Context) {
+			once.Do(func() { close(started) })
+			for !c.Cancelled() {
+				time.Sleep(time.Millisecond)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-started
+		if clean := rt.ShutdownDrain(0); clean {
+			t.Fatal("ShutdownDrain(0) reported clean with a run in flight")
+		}
+		if err := tk.Wait(); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("Wait after ShutdownDrain = %v, want ErrShutdown", err)
+		}
+	})
+}
+
+// TestSubmitSerialElision: under WithSerialElision, Submit completes the run
+// inline and the returned Ticket is already settled.
+func TestSubmitSerialElision(t *testing.T) {
+	rt := New(WithSerialElision())
+	var got int64
+	tk, err := rt.Submit(context.Background(), func(c *Context) { fib(c, 15, &got) }, WithStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("serial-elision Ticket not settled at Submit return")
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if want := fibSerial(15); got != want {
+		t.Fatalf("fib(15) = %d, want %d", got, want)
+	}
+	if st := tk.Stats(); st.Spawns == 0 {
+		t.Fatalf("serial-elision Stats.Spawns = 0, want > 0: %+v", st)
+	}
+	if lat := tk.QueueLatency(); lat != 0 {
+		t.Fatalf("serial-elision QueueLatency = %v, want 0", lat)
+	}
+}
+
+// TestTicketAccessors: identity fields round-trip from the submission
+// options, and Err is non-blocking.
+func TestTicketAccessors(t *testing.T) {
+	rt := New(WithWorkers(2))
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	tk, err := rt.Submit(context.Background(), func(*Context) { <-gate },
+		WithTenant("acme"), WithQoS(QoSInteractive), WithPriority(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Tenant() != "acme" || tk.Class() != QoSInteractive {
+		t.Fatalf("Tenant/Class = %q/%v", tk.Tenant(), tk.Class())
+	}
+	if tk.ID() == 0 {
+		t.Fatal("ID = 0")
+	}
+	if err := tk.Err(); err != nil {
+		t.Fatalf("Err while in flight = %v, want nil", err)
+	}
+	close(gate)
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Err(); err != nil {
+		t.Fatalf("Err after clean finish = %v", err)
+	}
+}
+
+// TestAdmissionGlobalLimits: runtime-wide MaxQueued/MaxActive/MaxMemory
+// reject with ErrAdmission; capacity frees as runs finish.
+func TestAdmissionGlobalLimits(t *testing.T) {
+	t.Run("max queued", func(t *testing.T) {
+		rt := New(WithWorkers(1), WithAdmission(AdmissionConfig{MaxQueued: 2}))
+		defer rt.Shutdown()
+		gate := make(chan struct{})
+		blocker, err := rt.Submit(context.Background(), func(*Context) { <-gate })
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The blocker was picked up; two more fill the queue.
+		waitPicked(t, rt, blocker)
+		var tks []*Ticket
+		for i := 0; i < 2; i++ {
+			tk, err := rt.Submit(context.Background(), func(*Context) {})
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			tks = append(tks, tk)
+		}
+		if _, err := rt.Submit(context.Background(), func(*Context) {}); !errors.Is(err, ErrAdmission) {
+			t.Fatalf("over-queue Submit = %v, want ErrAdmission", err)
+		}
+		close(gate)
+		for _, tk := range append(tks, blocker) {
+			if err := tk.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Capacity is back.
+		tk, err := rt.Submit(context.Background(), func(*Context) {})
+		if err != nil {
+			t.Fatalf("Submit after drain: %v", err)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("max memory", func(t *testing.T) {
+		rt := New(WithWorkers(1), WithAdmission(AdmissionConfig{MaxMemory: 1 << 20}))
+		defer rt.Shutdown()
+		gate := make(chan struct{})
+		tk, err := rt.Submit(context.Background(), func(*Context) { <-gate }, WithMemoryBudget(1<<19))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Submit(context.Background(), func(*Context) {}, WithMemoryBudget(1<<20)); !errors.Is(err, ErrAdmission) {
+			t.Fatalf("over-memory Submit = %v, want ErrAdmission", err)
+		}
+		close(gate)
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTenantQuota: per-tenant quotas reject one tenant with ErrQuota while
+// other tenants keep being admitted.
+func TestTenantQuota(t *testing.T) {
+	rt := New(WithWorkers(1), WithAdmission(AdmissionConfig{
+		Tenants: map[string]Quota{"free": {MaxActive: 1}},
+	}))
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	free1, err := rt.Submit(context.Background(), func(*Context) { <-gate }, WithTenant("free"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit(context.Background(), func(*Context) {}, WithTenant("free")); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota Submit = %v, want ErrQuota", err)
+	}
+	pro, err := rt.Submit(context.Background(), func(*Context) {}, WithTenant("pro"))
+	if err != nil {
+		t.Fatalf("pro tenant rejected alongside free's quota: %v", err)
+	}
+	close(gate)
+	if err := free1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pro.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// free's slot is back.
+	tk, err := rt.Submit(context.Background(), func(*Context) {}, WithTenant("free"))
+	if err != nil {
+		t.Fatalf("free tenant still over quota after drain: %v", err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitPicked blocks until rs has transitioned queued→running (the worker
+// picked its root up), so tests can build exact queue occupancy.
+func waitPicked(t *testing.T, rt *Runtime, tk *Ticket) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rt.adm.mu.Lock()
+		picked := tk.rs.picked
+		rt.adm.mu.Unlock()
+		if picked {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("root never picked up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLoadReport: the backpressure snapshot tracks queued/running/admission
+// outcomes and per-tenant load, and drains back to zero.
+func TestLoadReport(t *testing.T) {
+	rt := New(WithWorkers(1), WithAdmission(AdmissionConfig{
+		Tenants: map[string]Quota{"free": {MaxQueued: 1}},
+	}))
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	blocker, err := rt.Submit(context.Background(), func(*Context) { <-gate }, WithTenant("pro"), WithQoS(QoSInteractive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPicked(t, rt, blocker)
+	queued, err := rt.Submit(context.Background(), func(*Context) {}, WithTenant("free"), WithQoS(QoSBestEffort), WithMemoryBudget(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit(context.Background(), func(*Context) {}, WithTenant("free")); !errors.Is(err, ErrQuota) {
+		t.Fatalf("want ErrQuota, got %v", err)
+	}
+
+	r := rt.LoadReport()
+	if r.Workers != 1 {
+		t.Fatalf("Workers = %d", r.Workers)
+	}
+	if r.Running != 1 || r.Queued != 1 {
+		t.Fatalf("Running/Queued = %d/%d, want 1/1", r.Running, r.Queued)
+	}
+	if n := r.QueuedByClass["best-effort"]; n != 1 {
+		t.Fatalf("QueuedByClass[best-effort] = %d, want 1", n)
+	}
+	if r.Admitted != 2 || r.RejectedQuota != 1 || r.RejectedLoad != 0 {
+		t.Fatalf("Admitted/RejectedQuota/RejectedLoad = %d/%d/%d", r.Admitted, r.RejectedQuota, r.RejectedLoad)
+	}
+	if len(r.Tenants) != 2 || r.Tenants[0].Tenant != "free" || r.Tenants[1].Tenant != "pro" {
+		t.Fatalf("Tenants = %+v, want [free pro] sorted", r.Tenants)
+	}
+	free := r.Tenants[0]
+	if free.Queued != 1 || free.Memory != 512 || free.Rejected != 1 {
+		t.Fatalf("free tenant load = %+v", free)
+	}
+
+	close(gate)
+	if err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := queued.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r = rt.LoadReport()
+		if r.Queued == 0 && r.Running == 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("load never drained: %+v", r)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, ts := range r.Tenants {
+		if ts.Queued != 0 || ts.Running != 0 || ts.Memory != 0 {
+			t.Fatalf("tenant %q load not released: %+v", ts.Tenant, ts)
+		}
+	}
+}
+
+// TestSubmitFireAndForget: tickets that are never awaited still release
+// their admission reservations — release is owned by the finishing worker,
+// not by Wait.
+func TestSubmitFireAndForget(t *testing.T) {
+	rt := New(WithWorkers(2), WithAdmission(AdmissionConfig{MaxActive: 4}))
+	defer rt.Shutdown()
+	for i := 0; i < 64; i++ {
+		tk, err := rt.Submit(context.Background(), func(*Context) {})
+		if err != nil {
+			// Transient capacity rejections are fine — they must clear.
+			if !errors.Is(err, ErrAdmission) {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		_ = tk // deliberately not awaited
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := rt.LoadReport()
+		if r.Queued == 0 && r.Running == 0 {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("fire-and-forget runs never released: %+v", r)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitConcurrent: many goroutines submitting across classes and
+// tenants at once; every ticket completes exactly once with a correct
+// result. Primarily a -race exercise of the submission path.
+func TestSubmitConcurrent(t *testing.T) {
+	rt := New(WithWorkers(4))
+	defer rt.Shutdown()
+	const G, per = 8, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, G*per)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				var got int64
+				tk, err := rt.Submit(context.Background(),
+					func(c *Context) { fib(c, 10, &got) },
+					WithQoS(QoSClass(i%numQoS)), WithTenant(fmt.Sprintf("t%d", g%3)), WithPriority(i%4))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if err := tk.Wait(); err != nil {
+					errs <- err
+				} else if got != fibSerial(10) {
+					errs <- fmt.Errorf("fib(10) = %d", got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

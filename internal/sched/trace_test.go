@@ -20,7 +20,7 @@ func spawnCount(n int) int64 {
 }
 
 func TestTracedRunEventStream(t *testing.T) {
-	rt := New(Workers(4), Tracing())
+	rt := New(WithWorkers(4), WithTracing())
 	defer rt.Shutdown()
 	tr := rt.Tracer()
 	if tr == nil {
@@ -130,7 +130,7 @@ func TestTracedRunEventStream(t *testing.T) {
 }
 
 func TestTracerDisabledByDefault(t *testing.T) {
-	rt := New(Workers(2), Tracing())
+	rt := New(WithWorkers(2), WithTracing())
 	defer rt.Shutdown()
 	var got int64
 	if err := rt.Run(func(c *Context) { fib(c, 10, &got) }); err != nil {
@@ -143,7 +143,7 @@ func TestTracerDisabledByDefault(t *testing.T) {
 }
 
 func TestNoTracerWithoutOption(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	defer rt.Shutdown()
 	if rt.Tracer() != nil {
 		t.Fatal("runtime has a tracer without the Tracing option")
@@ -157,14 +157,14 @@ func TestNoTracerWithoutOption(t *testing.T) {
 func TestTracingRequiresParallel(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New(SerialElision(), Tracing()) did not panic")
+			t.Fatal("New(WithSerialElision(), WithTracing()) did not panic")
 		}
 	}()
-	New(SerialElision(), Tracing())
+	New(WithSerialElision(), WithTracing())
 }
 
 func TestTraceRunIDsDistinguishConcurrentRuns(t *testing.T) {
-	rt := New(Workers(4), Tracing())
+	rt := New(WithWorkers(4), WithTracing())
 	defer rt.Shutdown()
 	tr := rt.Tracer()
 	tr.Start()
@@ -196,7 +196,7 @@ func TestTraceRunIDsDistinguishConcurrentRuns(t *testing.T) {
 
 func TestRunWithStatsExactCounts(t *testing.T) {
 	const n = 14
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	var got int64
 	s, err := rt.RunWithStats(func(c *Context) { fib(c, n, &got) })
@@ -225,7 +225,7 @@ func TestRunWithStatsExactCounts(t *testing.T) {
 // accounting: two different-sized computations share the workers, yet each
 // snapshot reports exactly its own spawns.
 func TestRunWithStatsConcurrentRunsToldApart(t *testing.T) {
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	sizes := []int{12, 16}
 	stats := make([]Stats, len(sizes))
@@ -257,7 +257,7 @@ func TestRunWithStatsConcurrentRunsToldApart(t *testing.T) {
 
 func TestRunWithStatsSerialElision(t *testing.T) {
 	const n = 12
-	rt := New(SerialElision())
+	rt := New(WithSerialElision())
 	var got int64
 	s, err := rt.RunWithStats(func(c *Context) { fib(c, n, &got) })
 	if err != nil {
@@ -274,7 +274,7 @@ func TestRunWithStatsSerialElision(t *testing.T) {
 // TestStatsInvariants pins the documented global invariants after Run
 // returns: every spawned task ran, and steals never exceed attempts.
 func TestStatsInvariants(t *testing.T) {
-	rt := New(Workers(4))
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	for i := 0; i < 3; i++ {
 		var got int64
@@ -292,7 +292,7 @@ func TestStatsInvariants(t *testing.T) {
 }
 
 func TestStatsSub(t *testing.T) {
-	rt := New(Workers(2))
+	rt := New(WithWorkers(2))
 	defer rt.Shutdown()
 	var got int64
 	if err := rt.Run(func(c *Context) { fib(c, 12, &got) }); err != nil {
@@ -339,7 +339,7 @@ func TestMaxStoreNeverRegresses(t *testing.T) {
 }
 
 func TestMetrics(t *testing.T) {
-	rt := New(Workers(2), Tracing())
+	rt := New(WithWorkers(2), WithTracing())
 	defer rt.Shutdown()
 	var got int64
 	if err := rt.Run(func(c *Context) { fib(c, 12, &got) }); err != nil {

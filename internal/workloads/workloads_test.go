@@ -14,7 +14,7 @@ import (
 
 func runPar(t *testing.T, p int, fn func(*sched.Context)) {
 	t.Helper()
-	rt := sched.New(sched.Workers(p))
+	rt := sched.New(sched.WithWorkers(p))
 	defer rt.Shutdown()
 	if err := rt.Run(fn); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -56,7 +56,7 @@ func TestSerialQsortMatchesParallel(t *testing.T) {
 		a := RandomFloats(n, seed)
 		b := append([]float64(nil), a...)
 		SerialQsort(a, 16)
-		rt := sched.New(sched.Workers(4))
+		rt := sched.New(sched.WithWorkers(4))
 		defer rt.Shutdown()
 		if err := rt.Run(func(c *sched.Context) { Qsort(c, b, 16) }); err != nil {
 			return false
