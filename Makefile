@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve stress-deque fuzz-sched fuzz-sched-long clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve bench-local stress-deque fuzz-sched fuzz-sched-long clean
 
 all: build vet test
 
@@ -101,12 +101,22 @@ bench-serve:
 		< /tmp/cilkload_serve.json > BENCH_serve.json; \
 	status=$$?; if [ $$load -ne 0 ]; then exit $$load; fi; exit $$status
 
+# Locality gate: run the D-series benchmarks (wide loop flat vs. 2-domain —
+# reporting the local-steal fraction — plus domain-partitioned fib) alongside
+# the uncancelled fib/matmul C-series runs as the ±2% no-regression guard,
+# diffed against the committed seed measurement into BENCH_local.json.
+bench-local:
+	$(GO) test -run '^$$' -bench 'BenchmarkLocal|BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -count=3 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_local.json
+
 # Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
-# steal-path and lazy-loop exactly-once tests — and the fault-injected Gate/San
-# suites (forced claim/CAS failures, stretched claim windows, seeded fault
-# schedules) — repeated under the race detector (mirrors the CI job).
+# steal-path, lazy-loop exactly-once, and steal-domain tests — and the
+# fault-injected Gate/San suites (forced claim/CAS failures, stretched claim
+# windows, seeded fault schedules) — repeated under the race detector
+# (mirrors the CI job).
 stress-deque:
-	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase|RangeExactlyOnce|Gate|San' ./internal/deque/ ./internal/sched/
+	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase|RangeExactlyOnce|Gate|San|Domain' ./internal/deque/ ./internal/sched/
 
 # Schedule fuzzing: the pinned regression corpus plus 1000 fresh seeded fault
 # schedules through the schedfuzz property suites with invariants and the
@@ -123,4 +133,4 @@ fuzz-sched-long:
 	$(GO) run ./cmd/schedfuzz -trials 20000 -seed $(FUZZ_SEED) -stall 5s
 
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json BENCH_serve.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json BENCH_serve.json BENCH_local.json trace.json

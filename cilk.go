@@ -137,6 +137,16 @@ func WithSerialElision() Option { return sched.WithSerialElision() }
 // WithStealSeed makes the schedule's random victim selection reproducible.
 func WithStealSeed(seed int64) Option { return sched.WithStealSeed(seed) }
 
+// WithStealDomains partitions the workers into n steal domains: an idle
+// worker sweeps victims inside its own domain first and escalates to remote
+// domains only after a full local sweep fails, and range tasks stolen across
+// a domain boundary are re-injected toward their loop owner's domain. n <= 0
+// auto-detects the machine's NUMA node count (1 — a flat runtime with the
+// classic uniform steal — when undetectable). See Stats.LocalSteals,
+// Stats.RemoteSteals, and Stats.DomainEscalations for the resulting
+// locality split.
+func WithStealDomains(n int) Option { return sched.WithStealDomains(n) }
+
 // WithTracing equips the runtime with low-overhead per-worker event tracing
 // of the parallel schedule: task start/end, spawns, steal attempts and
 // successes (with victim ids), idle hunting, parking, and — on cancelled or

@@ -30,6 +30,10 @@ var promCounters = map[string]bool{
 	"loop_splits":          true,
 	"chunks_peeled":        true,
 	"range_steals":         true,
+	"local_steals":         true,
+	"remote_steals":        true,
+	"domain_escalations":   true,
+	"affinity_reinjected":  true,
 	"runs_submitted":       true,
 	"runs_canceled":        true,
 	"panics_quarantined":   true,

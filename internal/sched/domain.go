@@ -1,0 +1,252 @@
+package sched
+
+// This file adds locality-aware stealing: steal domains.
+//
+// The paper's randomized work stealing is locality-blind — every victim is
+// equally likely — so on multi-socket / multi-CCX machines a steal is as
+// likely to drag a task's working set across a cache-coherence boundary as
+// to keep it near. "On the Efficiency of Localized Work Stealing"
+// (Suksompong, Leiserson & Schardl; PAPERS.md) shows that preferring
+// victims in the thief's own locality domain preserves the T_P ≤ T1/P +
+// O(T∞) bound as long as a failed local sweep escalates to remote victims,
+// and "Analysis of Work-Stealing and Parallel Cache Complexity" (Gu, Napier
+// & Sun) quantifies what each avoided remote steal is worth in cache
+// misses. internal/sim's cache mode reproduces those trends.
+//
+// The runtime's escalation ladder, per failed rung (DESIGN.md §4g):
+//
+//	1. own deque → 2. own domain's affinity mailbox → 3. own-domain lanes
+//	of the injection queue → 4. same-domain steal sweep (remembered victim
+//	first, then a random rotation) → 5. remote-domain sweeps, in random
+//	domain order → 6. any domain's affinity mailbox
+//
+// Rungs 5–6 run only after rung 4 probed every same-domain victim and
+// found nothing on localSweepRetries consecutive sweeps (escalation
+// hysteresis — sched.go), and crossing that boundary is observable: it
+// increments Stats.DomainEscalations and records a KindDomainEscalate
+// trace event.
+// Work can never be stranded behind a locality preference: every rung is a
+// preference over probe order, not a partition — remote work is always
+// reachable, just probed last.
+
+import (
+	"path/filepath"
+	"sync"
+)
+
+// WithStealDomains partitions the workers into n steal domains — contiguous
+// near-equal blocks of worker ids — giving victim selection a locality
+// hierarchy: thieves sweep their own domain first and escalate to remote
+// domains only after a full local sweep fails, and a range task stolen out
+// of its owner's domain is re-injected back toward it on re-publication
+// (see loop.go). n is clamped to [1, workers]; n <= 0 auto-detects the
+// machine topology (one domain per NUMA node, 1 when the topology is
+// invisible). The default without this option is a single flat domain —
+// the paper's uniform random stealing, exactly as before.
+func WithStealDomains(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = detectStealDomains()
+		}
+		c.domains = n
+	}
+}
+
+// detectStealDomains counts the machine's NUMA nodes via sysfs. Containers
+// and non-Linux hosts that expose no topology get 1 — flat stealing, never
+// an error.
+func detectStealDomains() int {
+	nodes, err := filepath.Glob("/sys/devices/system/node/node[0-9]*")
+	if err != nil || len(nodes) == 0 {
+		return 1
+	}
+	return len(nodes)
+}
+
+// setupDomains partitions the workers into cfg.domains contiguous blocks
+// (domain of worker i = i·d/n, so block sizes differ by at most one),
+// allocates the per-domain lastVictim memory, the affinity mailboxes, and
+// each worker's domain-aware injection-lane sweep order. Called from New
+// after the workers exist and before any of them runs.
+func (rt *Runtime) setupDomains() {
+	n := len(rt.workers)
+	d := rt.cfg.domains
+	if d < 1 {
+		d = 1
+	}
+	if d > n {
+		d = n
+	}
+	rt.cfg.domains = d
+	rt.domains = make([][]*worker, d)
+	for i, w := range rt.workers {
+		dom := i * d / n
+		w.domain = dom
+		rt.domains[dom] = append(rt.domains[dom], w)
+		w.lastVictim = make([]int, d)
+		for j := range w.lastVictim {
+			w.lastVictim[j] = -1
+		}
+	}
+	if d > 1 {
+		rt.affinity = make([]*affinityLane, d)
+		for i := range rt.affinity {
+			rt.affinity[i] = &affinityLane{}
+		}
+	}
+	for _, w := range rt.workers {
+		w.laneOrder = rt.buildLaneOrder(w)
+	}
+}
+
+// buildLaneOrder returns the order in which w sweeps the injection lanes:
+// same-domain lanes first (starting at w's own — tenant-hashed submissions
+// land on a stable lane, so the worker warm with a tenant probes that lane
+// first), then remote lanes, each group rotated by w.id so concurrent
+// sweepers spread instead of convoying. With one domain this is exactly
+// the old (id+i) mod n rotation.
+func (rt *Runtime) buildLaneOrder(w *worker) []int {
+	n := len(rt.workers)
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if idx := (w.id + i) % n; rt.workers[idx].domain == w.domain {
+			order = append(order, idx)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if idx := (w.id + i) % n; rt.workers[idx].domain != w.domain {
+			order = append(order, idx)
+		}
+	}
+	return order
+}
+
+// affinityLane is one domain's re-injection mailbox: range tasks stolen out
+// of their loop owner's domain are parked here on re-publication so the
+// iterations land back near the owner's cache instead of migrating with
+// the thief (loop.go splitRange). A plain mutexed FIFO suffices — pushes
+// happen only on cross-domain range steals, which locality-aware victim
+// selection makes rare by construction.
+type affinityLane struct {
+	mu sync.Mutex
+	q  []*task
+}
+
+func (l *affinityLane) push(t *task) {
+	l.mu.Lock()
+	l.q = append(l.q, t)
+	l.mu.Unlock()
+}
+
+func (l *affinityLane) pop() *task {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.q) == 0 {
+		return nil
+	}
+	t := l.q[0]
+	// Nil out the popped head: the backing array survives the reslice and
+	// would otherwise retain the range task (and its loop frame).
+	l.q[0] = nil
+	l.q = l.q[1:]
+	if len(l.q) == 0 {
+		l.q = nil
+	}
+	return t
+}
+
+func (l *affinityLane) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.q)
+}
+
+// affinityPush re-injects range task t toward domain d and wakes a worker
+// to claim it. The wake may be lost (rt.wake's fast path), which is benign
+// for liveness by the same ownership argument as spawn-path wakes (see
+// stealableWork): the pusher is a thief that keeps the range's front half,
+// and after running it, its own steal sweeps check every affinity mailbox
+// (takeAffinityAny) before the sweep can count as failed — so a worker can
+// never park while a mailbox is non-empty any more than while its own
+// deque is. The park re-check additionally consults affinityQueued to keep
+// pickup latency low.
+func (rt *Runtime) affinityPush(t *task, d int) {
+	rt.affinity[d].push(t)
+	rt.affinityQueued.Add(1)
+	rt.wake()
+}
+
+// takeAffinity pops a re-injected range task bound for domain d. The empty
+// path costs one nil check and one atomic load.
+func (w *worker) takeAffinity(d int) *task {
+	rt := w.rt
+	if rt.affinity == nil || rt.affinityQueued.Load() == 0 {
+		return nil
+	}
+	if t := rt.affinity[d].pop(); t != nil {
+		rt.affinityQueued.Add(-1)
+		return t
+	}
+	return nil
+}
+
+// takeAffinityAny sweeps every domain's affinity mailbox, own domain
+// first. This is the hunt's last rung: an affinity preference is a hint,
+// never a partition, so a machine-wide failed sweep claims re-injected
+// work wherever it waits rather than stranding it (work conservation —
+// the property Suksompong et al. require for the time bound to survive
+// localized stealing).
+func (w *worker) takeAffinityAny() *task {
+	rt := w.rt
+	if rt.affinity == nil || rt.affinityQueued.Load() == 0 {
+		return nil
+	}
+	nd := len(rt.affinity)
+	for i := 0; i < nd; i++ {
+		if t := rt.affinity[(w.domain+i)%nd].pop(); t != nil {
+			rt.affinityQueued.Add(-1)
+			return t
+		}
+	}
+	return nil
+}
+
+// affinityQueuedTotal is the exact count of parked affinity tasks (the
+// slow counterpart of the affinityQueued gauge; used by diagnostics).
+func (rt *Runtime) affinityQueuedTotal() int {
+	n := 0
+	for _, l := range rt.affinity {
+		n += l.size()
+	}
+	return n
+}
+
+// stealSweepDomain probes the workers of domain d exactly as the flat
+// sweep used to probe the whole runtime: the domain's remembered victim
+// first (a victim that had surplus once likely still has more), then a
+// random rotation over the rest. On success the domain's lastVictim is
+// updated; on a dry sweep it is forgotten. The caller owns failed-sweep
+// accounting.
+func (w *worker) stealSweepDomain(d int) *task {
+	members := w.rt.domains[d]
+	last := w.lastVictim[d]
+	if last >= 0 && last != w.id {
+		if t := w.stealFrom(w.rt.workers[last]); t != nil {
+			return t
+		}
+	}
+	n := len(members)
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		victim := members[(start+i)%n]
+		if victim == w || victim.id == last {
+			continue
+		}
+		if t := w.stealFrom(victim); t != nil {
+			w.lastVictim[d] = victim.id
+			return t
+		}
+	}
+	w.lastVictim[d] = -1
+	return nil
+}

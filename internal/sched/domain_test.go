@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"cilkgo/internal/schedsan"
+)
+
+// TestDomainPartition: WithStealDomains splits the workers into contiguous
+// near-equal blocks, clamps out-of-range counts, and the default runtime
+// stays flat (one domain, no affinity mailboxes).
+func TestDomainPartition(t *testing.T) {
+	rt := New(WithWorkers(8), WithStealDomains(3))
+	defer rt.Shutdown()
+	if got := len(rt.domains); got != 3 {
+		t.Fatalf("domains = %d, want 3", got)
+	}
+	var sizes []int
+	for _, d := range rt.domains {
+		sizes = append(sizes, len(d))
+	}
+	if sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 2 {
+		t.Fatalf("domain sizes = %v, want [3 3 2]", sizes)
+	}
+	for i, w := range rt.workers {
+		if want := i * 3 / 8; w.domain != want {
+			t.Fatalf("worker %d in domain %d, want %d", i, w.domain, want)
+		}
+	}
+	if rt.affinity == nil || len(rt.affinity) != 3 {
+		t.Fatalf("affinity mailboxes = %v, want 3", rt.affinity)
+	}
+
+	clamped := New(WithWorkers(2), WithStealDomains(10))
+	defer clamped.Shutdown()
+	if got := len(clamped.domains); got != 2 {
+		t.Fatalf("clamped domains = %d, want 2 (one per worker)", got)
+	}
+
+	flat := New(WithWorkers(4))
+	defer flat.Shutdown()
+	if got := len(flat.domains); got != 1 {
+		t.Fatalf("default domains = %d, want 1", got)
+	}
+	if flat.affinity != nil {
+		t.Fatal("flat runtime allocated affinity mailboxes")
+	}
+
+	auto := New(WithWorkers(4), WithStealDomains(0))
+	defer auto.Shutdown()
+	if got := len(auto.domains); got < 1 || got > 4 {
+		t.Fatalf("auto-detected domains = %d, want within [1, 4]", got)
+	}
+}
+
+// TestDomainStealSplit: every successful steal is classified local or
+// remote, and the two always partition the steal count exactly — on wide
+// loops, on spawn trees, and on the flat runtime (where every steal is
+// local by definition).
+func TestDomainStealSplit(t *testing.T) {
+	rt := New(WithWorkers(4), WithStealDomains(2))
+	defer rt.Shutdown()
+	const n = 20000
+	counts := make([]int32, n)
+	if err := rt.Run(func(c *Context) {
+		loopRange(c, 0, n, 4, func(c *Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+			runtime.Gosched()
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, counts)
+	st := rt.Stats()
+	if st.LocalSteals+st.RemoteSteals != st.Steals {
+		t.Fatalf("LocalSteals %d + RemoteSteals %d != Steals %d",
+			st.LocalSteals, st.RemoteSteals, st.Steals)
+	}
+
+	flat := New(WithWorkers(4))
+	defer flat.Shutdown()
+	var out int64
+	if err := flat.Run(func(c *Context) { fibYield(c, 16, &out) }); err != nil {
+		t.Fatal(err)
+	}
+	fst := flat.Stats()
+	if fst.RemoteSteals != 0 || fst.DomainEscalations != 0 {
+		t.Fatalf("flat runtime counted remote activity: remote=%d escalations=%d",
+			fst.RemoteSteals, fst.DomainEscalations)
+	}
+	if fst.LocalSteals != fst.Steals {
+		t.Fatalf("flat runtime: LocalSteals %d != Steals %d", fst.LocalSteals, fst.Steals)
+	}
+}
+
+// TestDomainEscalationStress: work that originates in one domain forces the
+// other domain's thieves through the escalation ladder — they must cross the
+// boundary (DomainEscalations) and their first prize must be remote. Runs
+// repeat until steals actually happened, since a fast run may finish before
+// any thief wakes.
+func TestDomainEscalationStress(t *testing.T) {
+	rt := New(WithWorkers(4), WithStealDomains(2))
+	defer rt.Shutdown()
+	for attempt := 0; attempt < 20; attempt++ {
+		var out int64
+		if err := rt.Run(func(c *Context) { fibYield(c, 18, &out) }); err != nil {
+			t.Fatal(err)
+		}
+		st := rt.Stats()
+		if st.LocalSteals+st.RemoteSteals != st.Steals {
+			t.Fatalf("LocalSteals %d + RemoteSteals %d != Steals %d",
+				st.LocalSteals, st.RemoteSteals, st.Steals)
+		}
+		if st.RemoteSteals >= 1 && st.DomainEscalations >= 1 {
+			return
+		}
+	}
+	st := rt.Stats()
+	t.Fatalf("no cross-domain activity in 20 runs: %+v", st)
+}
+
+// TestDomainAffinityReinjection: with small grains on a wide loop, some
+// range halves are stolen across the domain boundary; the thief re-injects
+// them toward the owner's domain instead of keeping them, and the mailboxes
+// are always drained by the time the run completes (a queued half holds the
+// loop's join open).
+func TestDomainAffinityReinjection(t *testing.T) {
+	rt := New(WithWorkers(4), WithStealDomains(2))
+	defer rt.Shutdown()
+	const n = 50000
+	for attempt := 0; attempt < 20; attempt++ {
+		counts := make([]int32, n)
+		if err := rt.Run(func(c *Context) {
+			loopRange(c, 0, n, 2, func(c *Context, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+				runtime.Gosched()
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		checkExactlyOnce(t, counts)
+		if got := rt.affinityQueuedTotal(); got != 0 {
+			t.Fatalf("affinity mailboxes hold %d tasks after Run returned", got)
+		}
+		if g := rt.affinityQueued.Load(); g != 0 {
+			t.Fatalf("affinityQueued gauge = %d after Run returned", g)
+		}
+		if rt.Stats().AffinityReinjected >= 1 {
+			return
+		}
+	}
+	t.Fatalf("no affinity re-injection in 20 wide-loop runs: %+v", rt.Stats())
+}
+
+// TestDomainFaultedExactlyOnce: the fuzzer's domain property as a pinned
+// unit test — under a seeded fault plan (which can veto escalations and
+// affinity re-injections), a domain-partitioned loop still runs every
+// iteration exactly once with no invariant violations.
+func TestDomainFaultedExactlyOnce(t *testing.T) {
+	opts, log := sanOpts(schedsan.RandomPlan(7))
+	rt := New(WithWorkers(4), WithStealDomains(2), WithStealSeed(7), WithSanitize(opts))
+	const n = 2000
+	counts := make([]int32, n)
+	var sum atomic.Int64
+	if err := rt.Run(func(c *Context) {
+		loopRange(c, 0, n, 3, func(c *Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+				sum.Add(int64(i))
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown() // post-drain checks include the affinity mailboxes
+	checkExactlyOnce(t, counts)
+	if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+		t.Fatalf("iteration sum %d, want %d", sum.Load(), want)
+	}
+	log.empty(t)
+}
+
+// TestDomainMetricsKeys: the locality counters surface through Metrics with
+// the documented names and consistent values.
+func TestDomainMetricsKeys(t *testing.T) {
+	rt := New(WithWorkers(4), WithStealDomains(2))
+	defer rt.Shutdown()
+	var out int64
+	if err := rt.Run(func(c *Context) { fibYield(c, 14, &out) }); err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	if m["steal_domains"] != 2 {
+		t.Fatalf("steal_domains = %d, want 2", m["steal_domains"])
+	}
+	for _, k := range []string{"local_steals", "remote_steals", "domain_escalations", "affinity_reinjected"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("Metrics missing %q", k)
+		}
+	}
+	if m["local_steals"]+m["remote_steals"] != m["steals"] {
+		t.Fatalf("local %d + remote %d != steals %d", m["local_steals"], m["remote_steals"], m["steals"])
+	}
+	if _, ok := m["worker.0.local_steals"]; !ok {
+		t.Fatal("Metrics missing worker.0.local_steals")
+	}
+}

@@ -301,8 +301,12 @@ type runState struct {
 }
 
 // queueLatency reports how long the root waited for pickup (0 until picked).
+// Serial elision never enqueues or picks up a root, so both timestamps stay
+// zero and the latency reports 0 (Ticket.QueueLatency documents this;
+// TestQueueLatencySerialElision pins it). The pickedNs < enqNs guard keeps a
+// clock anomaly from ever reporting a negative wait.
 func (rs *runState) queueLatency() time.Duration {
-	if rs.pickedNs == 0 {
+	if rs.pickedNs == 0 || rs.pickedNs < rs.enqNs {
 		return 0
 	}
 	return time.Duration(rs.pickedNs - rs.enqNs)

@@ -24,10 +24,7 @@ package sched
 // never bank credit and then burst-starve the others. Classic DRR with
 // cost-1 packets; DESIGN.md §4f works the math.
 
-import (
-	"hash/maphash"
-	"sync"
-)
+import "sync"
 
 // QoSClass is the quality-of-service class of a submitted computation. The
 // class decides only the rate at which queued roots are *picked up* under
@@ -148,7 +145,27 @@ func (l *injectLane) size() int {
 	return n
 }
 
-var laneHashSeed = maphash.MakeSeed()
+// laneHash maps a tenant label to a lane deterministically: FNV-1a over
+// the label with the runtime's steal seed folded into the offset basis.
+// The previous implementation hashed with a process-random
+// maphash.MakeSeed(), so tenant→lane placement differed on every run —
+// which broke schedfuzz's "a trial is a pure function of its seed"
+// contract and made WithStealSeed reproductions place tenants on different
+// lanes than the run being reproduced. Two runtimes built with the same
+// steal seed now agree on placement across processes and restarts
+// (TestLaneHashDeterministic pins this).
+func laneHash(seed int64, tenant string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(seed)*0x9e3779b97f4a7c15
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= prime64
+	}
+	return h
+}
 
 // laneFor picks the lane a submission lands on: tenant-hashed for labeled
 // submissions (a tenant's roots keep hitting the lane of the worker warm
@@ -161,7 +178,7 @@ func (rt *Runtime) laneFor(tenant string) *injectLane {
 		return rt.lanes[0]
 	}
 	if tenant != "" {
-		return rt.lanes[maphash.String(laneHashSeed, tenant)%uint64(n)]
+		return rt.lanes[laneHash(rt.cfg.stealSeed, tenant)%uint64(n)]
 	}
 	return rt.lanes[uint64(rt.laneRR.Add(1))%uint64(n)]
 }

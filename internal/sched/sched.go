@@ -51,6 +51,9 @@ type config struct {
 	observer     RunObserver
 	admission    *AdmissionConfig
 	legacyInject bool
+	// domains is the number of steal domains (see domain.go); 0 and 1 both
+	// mean flat — the paper's uniform random stealing.
+	domains int
 }
 
 // Option configures a Runtime.
@@ -148,6 +151,15 @@ type Runtime struct {
 	queuedByClass [numQoS]atomic.Int64
 	adm           *admission
 
+	// Locality layer (see domain.go): workers partitioned into steal
+	// domains, one affinity mailbox per domain for owner-affinity
+	// re-injection of stolen ranges (nil with one domain), and the
+	// affinityQueued gauge idle sweeps and the parker's re-check consult —
+	// the mailbox analogue of rt.injected.
+	domains        [][]*worker
+	affinity       []*affinityLane
+	affinityQueued atomic.Int64
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	active      map[*runState]struct{}
@@ -201,16 +213,16 @@ func New(opts ...Option) *Runtime {
 	rt.workers = make([]*worker, cfg.workers)
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
-			rt:         rt,
-			id:         i,
-			deque:      deque.New[task](),
-			rng:        rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
-			lastVictim: -1,
+			rt:    rt,
+			id:    i,
+			deque: deque.New[task](),
+			rng:   rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
 		}
 		if rt.tracer != nil {
 			rt.workers[i].rec = rt.tracer.Recorder(i)
 		}
 	}
+	rt.setupDomains()
 	if cfg.sanitize != nil {
 		// Wire lanes and deque gates before any worker runs, then start the
 		// watchdog alongside them.
@@ -386,12 +398,23 @@ type worker struct {
 	// an observer — a successful steal observes hunt-to-steal latency.
 	hunting   bool
 	huntStart int64
-	// lastVictim is the id of the worker the last successful steal came
-	// from, or -1. A victim that had surplus work once likely still has
-	// more (Suksompong et al., "On the Efficiency of Localized Work
-	// Stealing"), so the next sweep probes it first. Only the worker's own
-	// goroutine touches it.
-	lastVictim int
+	// Locality fields (see domain.go), fixed at construction: the worker's
+	// steal domain and its domain-aware injection-lane sweep order.
+	domain    int
+	laneOrder []int
+	// lastVictim[d] is the id of the worker in domain d the last successful
+	// steal came from, or -1. A victim that had surplus work once likely
+	// still has more (Suksompong et al., "On the Efficiency of Localized
+	// Work Stealing"), so a sweep of d probes it first. Only the worker's
+	// own goroutine touches it. A flat runtime has one domain, so
+	// lastVictim[0] is exactly the old single remembered victim.
+	lastVictim []int
+	// localFails counts consecutive stealOnce sweeps whose same-domain rung
+	// found nothing; escalation to remote domains is deferred until it
+	// exceeds localSweepRetries (hysteresis — see stealOnce), and any
+	// successful steal resets it. Only the worker's own goroutine touches
+	// it. Unused (always 0) on a flat runtime.
+	localFails int
 
 	// Sanitizer fields (see sanitize.go). san is the worker's fault-
 	// injection lane, nil without WithSanitize. watch gates the state word:
@@ -468,9 +491,14 @@ func (w *worker) loop() {
 }
 
 // findTask returns the next task: own deque first (bottom, LIFO), then the
-// injection queue, then one steal sweep over the other workers.
+// domain's affinity mailbox (a range task re-injected toward this domain is
+// the work this worker is warmest for after its own), then the injection
+// queue, then one steal sweep over the other workers.
 func (w *worker) findTask() *task {
 	if t := w.deque.PopBottom(); t != nil {
+		return t
+	}
+	if t := w.takeAffinity(w.domain); t != nil {
 		return t
 	}
 	if t := w.takeInjected(); t != nil {
@@ -479,20 +507,22 @@ func (w *worker) findTask() *task {
 	return w.stealOnce()
 }
 
-// takeInjected sweeps the injection lanes for a queued root, starting at
-// this worker's own lane (tenant-hashed submissions land on a stable lane,
-// so the worker warm with a tenant's state probes that tenant's lane first).
-// The empty-path cost is one atomic load of rt.injected — no mutex — which
-// is what lets every idle worker probe the injection path on every sweep
-// without serializing on a global lock the way the old single FIFO did.
+// takeInjected sweeps the injection lanes for a queued root in the worker's
+// precomputed laneOrder: own lane first (tenant-hashed submissions land on
+// a stable lane, so the worker warm with a tenant's state probes that
+// tenant's lane first), then the rest of its own domain's lanes, then
+// remote lanes — idle workers keep root pickup inside their domain whenever
+// any same-domain lane has work. The empty-path cost is one atomic load of
+// rt.injected — no mutex — which is what lets every idle worker probe the
+// injection path on every sweep without serializing on a global lock the
+// way the old single FIFO did.
 func (w *worker) takeInjected() *task {
 	rt := w.rt
 	if rt.injected.Load() == 0 {
 		return nil
 	}
-	n := len(rt.lanes)
-	for i := 0; i < n; i++ {
-		if t := rt.lanes[(w.id+i)%n].pop(); t != nil {
+	for _, li := range w.laneOrder {
+		if t := rt.lanes[li].pop(); t != nil {
 			rt.injected.Add(-1)
 			rt.rootPicked(t.frame.run)
 			w.rec.InjectPickup()
@@ -511,34 +541,73 @@ func (rt *Runtime) rootPicked(rs *runState) {
 	rt.adm.picked(rs)
 }
 
-// stealOnce performs one sweep over the other workers, returning the first
-// successfully stolen task, or nil. The sweep is adaptive: the last victim a
-// steal succeeded against is probed first, falling back to a random sweep
-// over the rest. A sweep that fails outright forgets the remembered victim
-// and counts toward the worker's hunt escalation.
+// localSweepRetries is the escalation hysteresis: how many consecutive
+// failed same-domain sweeps a thief absorbs before its next sweep may cross
+// into remote domains. Escalating on the very first local miss makes remote
+// steals nearly as common as local ones on sparse workloads (one resident
+// range task, empty deques most of the time) — each miss is instantaneous,
+// so a couple of local retries cost microseconds while the local deques
+// refill, and every steal the retries convert from remote to local saves
+// the cross-domain cache misses §4g is about. The sim's VictimDomain policy
+// applies the same hysteresis (proc.localMisses), so measured trends carry
+// over. Liveness is unaffected: the hysteresis delays escalation by a
+// bounded number of sweeps, and a worker parks only after yieldSweeps
+// failures, long after escalation unlocked.
+const localSweepRetries = 2
+
+// stealOnce performs one hierarchical sweep, returning the first
+// successfully stolen task, or nil. Each rung is adaptive — the domain's
+// remembered victim is probed first, falling back to a random rotation
+// (stealSweepDomain) — and a thief escalates past its own domain only
+// after localSweepRetries consecutive full local sweeps fail: first remote
+// domains' deques in random domain order, then the affinity mailboxes, so
+// a locality preference can never strand work. Crossing the domain
+// boundary is counted (DomainEscalations, KindDomainEscalate), and the
+// sanitizer can veto it (the sweep just fails, a fallback every hunt
+// already tolerates). On a flat runtime there is one domain holding every
+// worker, so the ladder degenerates to exactly the old single adaptive
+// sweep. A sweep that fails outright counts toward the worker's hunt
+// escalation.
 func (w *worker) stealOnce() *task {
-	n := len(w.rt.workers)
-	if n <= 1 {
+	rt := w.rt
+	if len(rt.workers) <= 1 {
 		return nil
 	}
-	last := w.lastVictim
-	if last >= 0 && last != w.id {
-		if t := w.stealFrom(w.rt.workers[last]); t != nil {
+	if t := w.stealSweepDomain(w.domain); t != nil {
+		w.localFails = 0
+		return t
+	}
+	if nd := len(rt.domains); nd > 1 {
+		w.localFails++
+		if w.localFails <= localSweepRetries {
+			// Hysteresis: stay local for a few sweeps before going remote.
+			w.ws.failedSweeps.Add(1)
+			return nil
+		}
+		if w.san.Fail(schedsan.PointDomainEscalate) {
+			// Injected skipped escalation (legal: just a failed sweep; a
+			// later sweep escalates).
+			w.ws.failedSweeps.Add(1)
+			return nil
+		}
+		w.ws.domainEscalations.Add(1)
+		w.rec.DomainEscalate(int32(w.domain))
+		start := w.rng.Intn(nd)
+		for i := 0; i < nd; i++ {
+			d := (start + i) % nd
+			if d == w.domain {
+				continue
+			}
+			if t := w.stealSweepDomain(d); t != nil {
+				w.localFails = 0
+				return t
+			}
+		}
+		if t := w.takeAffinityAny(); t != nil {
+			w.localFails = 0
 			return t
 		}
 	}
-	start := w.rng.Intn(n)
-	for i := 0; i < n; i++ {
-		victim := w.rt.workers[(start+i)%n]
-		if victim == w || victim.id == last {
-			continue
-		}
-		if t := w.stealFrom(victim); t != nil {
-			w.lastVictim = victim.id
-			return t
-		}
-	}
-	w.lastVictim = -1
 	w.ws.failedSweeps.Add(1)
 	return nil
 }
@@ -559,6 +628,11 @@ func (w *worker) stealFrom(victim *worker) *task {
 		}
 	}
 	w.ws.steals.Add(1)
+	if victim.domain == w.domain {
+		w.ws.localSteals.Add(1)
+	} else {
+		w.ws.remoteSteals.Add(1)
+	}
 	if h := w.rt.obsH; h != nil && w.hunting {
 		// Hunt-to-steal latency: how long this worker went without work
 		// before the steal landed. Steals from syncWait (not hunting) are
@@ -578,14 +652,21 @@ func (w *worker) stealFrom(victim *worker) *task {
 		w.ws.tasksStolenBatched.Add(int64(moved))
 		w.rec.StealBatch(int32(moved))
 		// The extras are stealable work sitting in our deque now; offer a
-		// parked worker the chance to come share it.
+		// parked worker the chance to come share it. Locality note: a
+		// cross-domain batch migrates every extra into the thief's domain in
+		// one operation but still counts as ONE steal in the local/remote
+		// split — the split classifies operations, not tasks, so compare
+		// TasksStolenBatched alongside RemoteSteals when judging how much
+		// work actually crossed a domain boundary. The extras now sit where
+		// same-domain thieves of *this* domain find them locally, which is
+		// exactly the amortization batching buys.
 		w.rt.wake()
 	}
 	if t.loop != nil {
 		// A stolen range task splits immediately (see loop.go): the thief
 		// keeps the front half and re-publishes the back half, so further
 		// thieves need not wait for this one's first remainder publish.
-		w.splitRange(t)
+		w.splitRange(t, victim)
 	}
 	return t
 }
@@ -667,8 +748,10 @@ func (w *worker) park() bool {
 		// The rt.injected re-check under rt.mu is the parker's half of the
 		// injection wake guarantee (see submit.go): a root enqueued before we
 		// took the mutex is visible here, and one enqueued after will find us
-		// already waiting when its Signal fires.
-		if rt.injected.Load() > 0 || rt.stealableWork() {
+		// already waiting when its Signal fires. affinityQueued keeps a
+		// re-injected range's pickup latency low; its liveness does not
+		// depend on this check (see affinityPush).
+		if rt.injected.Load() > 0 || rt.affinityQueued.Load() > 0 || rt.stealableWork() {
 			rt.mu.Unlock()
 			return true
 		}

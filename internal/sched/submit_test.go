@@ -180,6 +180,50 @@ func TestSubmitSerialElision(t *testing.T) {
 	}
 }
 
+// TestQueueLatencySerialElision pins the QueueLatency contract from its doc:
+// serial elision has no injection lane, so the latency is exactly 0 — before
+// and after Wait — while a parallel submission reports a non-negative wait
+// once picked up. Also pins the clock-anomaly clamp: pickedNs earlier than
+// enqNs must report 0, never a negative duration.
+func TestQueueLatencySerialElision(t *testing.T) {
+	srt := New(WithSerialElision())
+	tk, err := srt.Submit(context.Background(), func(c *Context) {
+		c.Spawn(func(*Context) {})
+		c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := tk.QueueLatency(); lat != 0 {
+		t.Fatalf("serial-elision QueueLatency = %v, want exactly 0", lat)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if lat := tk.QueueLatency(); lat != 0 {
+		t.Fatalf("serial-elision QueueLatency after Wait = %v, want exactly 0", lat)
+	}
+
+	rt := New(WithWorkers(2))
+	defer rt.Shutdown()
+	ptk, err := rt.Submit(context.Background(), func(*Context) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ptk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if lat := ptk.QueueLatency(); lat < 0 {
+		t.Fatalf("parallel QueueLatency = %v, want >= 0", lat)
+	}
+
+	// Clock anomaly: pickup timestamped before enqueue must clamp to 0.
+	rs := &runState{enqNs: 100, pickedNs: 50}
+	if lat := rs.queueLatency(); lat != 0 {
+		t.Fatalf("queueLatency with pickedNs < enqNs = %v, want 0", lat)
+	}
+}
+
 // TestTicketAccessors: identity fields round-trip from the submission
 // options, and Err is non-blocking.
 func TestTicketAccessors(t *testing.T) {

@@ -86,6 +86,17 @@ const (
 	// object to the garbage collector instead (legal), exercising the
 	// fresh-allocation paths and flushing ABA-style reuse assumptions.
 	PointRecycle
+	// PointDomainEscalate is a thief's escalation past its own steal domain
+	// after a failed local sweep: a forced failure skips the escalation for
+	// this sweep (legal — it is just one more failed sweep, and a later
+	// sweep escalates), starving remote domains of exactly the rung the
+	// localized-stealing time bound depends on.
+	PointDomainEscalate
+	// PointAffinity is a remote thief's re-injection of a stolen range half
+	// toward the loop owner's domain: a forced failure keeps the half on
+	// the thief's own deque instead (legal — the flat-runtime behaviour),
+	// exercising both sides of the affinity decision under steal pressure.
+	PointAffinity
 	// PointInjectWake is the broadcast that announces a new root task in the
 	// injection queue. It is never part of a random plan: dropping it is the
 	// one fault that genuinely stalls the runtime, which is exactly what the
@@ -98,7 +109,8 @@ const (
 
 var pointNames = [NumPoints]string{
 	"steal", "batch-claim", "batch-cas", "batch-window", "wake", "park",
-	"chunk-peel", "range-split", "view-fold", "recycle", "inject-wake",
+	"chunk-peel", "range-split", "view-fold", "recycle",
+	"domain-escalate", "affinity", "inject-wake",
 }
 
 func (p Point) String() string {
@@ -184,8 +196,12 @@ var ruleMenu = []func(rng *rand.Rand) Rule{
 	func(r *rand.Rand) Rule {
 		return Rule{Point: PointSteal, Mode: ModeDelay, Rate: 0.05 + 0.25*r.Float64(), Delay: time.Duration(r.Intn(50)) * time.Microsecond}
 	},
-	func(r *rand.Rand) Rule { return Rule{Point: PointBatchClaim, Mode: ModeFail, Rate: 0.1 + 0.7*r.Float64()} },
-	func(r *rand.Rand) Rule { return Rule{Point: PointBatchCAS, Mode: ModeFail, Rate: 0.05 + 0.45*r.Float64()} },
+	func(r *rand.Rand) Rule {
+		return Rule{Point: PointBatchClaim, Mode: ModeFail, Rate: 0.1 + 0.7*r.Float64()}
+	},
+	func(r *rand.Rand) Rule {
+		return Rule{Point: PointBatchCAS, Mode: ModeFail, Rate: 0.05 + 0.45*r.Float64()}
+	},
 	func(r *rand.Rand) Rule {
 		return Rule{Point: PointBatchWindow, Mode: ModeDelay, Rate: 0.1 + 0.4*r.Float64(), Delay: time.Duration(1+r.Intn(20)) * time.Microsecond}
 	},
@@ -200,11 +216,27 @@ var ruleMenu = []func(rng *rand.Rand) Rule{
 	func(r *rand.Rand) Rule {
 		return Rule{Point: PointChunkPeel, Mode: ModeDelay, Rate: 0.05 + 0.25*r.Float64(), Delay: time.Duration(r.Intn(20)) * time.Microsecond}
 	},
-	func(r *rand.Rand) Rule { return Rule{Point: PointRangeSplit, Mode: ModeFail, Rate: 0.1 + 0.8*r.Float64()} },
+	func(r *rand.Rand) Rule {
+		return Rule{Point: PointRangeSplit, Mode: ModeFail, Rate: 0.1 + 0.8*r.Float64()}
+	},
 	func(r *rand.Rand) Rule {
 		return Rule{Point: PointViewFold, Mode: ModeDelay, Rate: 0.1 + 0.3*r.Float64(), Delay: time.Duration(r.Intn(20)) * time.Microsecond}
 	},
 	func(r *rand.Rand) Rule { return Rule{Point: PointRecycle, Mode: ModeFail, Rate: 0.1 + 0.8*r.Float64()} },
+	// Locality faults (liveness-safe: a vetoed escalation is one more
+	// failed sweep and the rate is < 1, so a hunting worker escalates with
+	// probability 1; a vetoed affinity redirect is the flat-runtime push).
+	// On a flat runtime these points are never reached and the rules are
+	// inert. NOTE for corpus archaeology: extending this menu reshuffles
+	// which plan RandomPlan derives from a given seed — the pinned corpus
+	// seeds still run liveness-safe plans, they just cover different ones
+	// than when they were minted.
+	func(r *rand.Rand) Rule {
+		return Rule{Point: PointDomainEscalate, Mode: ModeFail, Rate: 0.1 + 0.6*r.Float64()}
+	},
+	func(r *rand.Rand) Rule {
+		return Rule{Point: PointAffinity, Mode: ModeFail, Rate: 0.1 + 0.8*r.Float64()}
+	},
 }
 
 // RandomPlan derives a fault plan deterministically from seed: between one

@@ -71,6 +71,25 @@ type Config struct {
 	// would wedge the machine, which is a property of locks, not of the
 	// scheduler).
 	OfflineAt []int64
+
+	// Locality model (cache-miss-aware mode; see DESIGN.md §4g). Domains
+	// partitions the processors into that many contiguous steal domains
+	// (NUMA nodes); 0 or 1 is a flat machine. Clamped to [1, Procs].
+	Domains int
+	// RemoteStealCost is extra virtual time charged to a successful steal
+	// whose victim sits in a different domain than the thief — the
+	// cross-socket transfer cost on top of StealCost (≥ 0).
+	RemoteStealCost int64
+	// CacheLines, when positive, gives each processor an LRU cache of that
+	// many frame working sets. Every Exec segment touches its frame's line:
+	// a miss charges MissCost extra virtual time to the processor (but not
+	// to Work, which stays the dag's intrinsic cost), and a miss on a frame
+	// last executed in another domain counts as a remote miss — the
+	// coherence traffic Gu et al.'s locality-aware stealing reduces. Zero
+	// disables the cache model entirely.
+	CacheLines int
+	// MissCost is the virtual time added per cache miss (≥ 0).
+	MissCost int64
 }
 
 // Result reports one simulated execution.
@@ -95,6 +114,18 @@ type Result struct {
 	LockAcquisitions int64
 	LockHandoffs     int64
 	LockWait         int64
+	// Locality statistics (cache-miss-aware mode). Every successful steal
+	// is local (victim in the thief's domain) or remote, so
+	// LocalSteals + RemoteSteals == Steals. Cache counters are zero unless
+	// CacheLines > 0; RemoteMisses are the subset of CacheMisses whose
+	// frame was last executed in a different domain — the cross-domain
+	// traffic that should grow with Domains under uniform-random stealing
+	// and shrink under VictimDomain.
+	LocalSteals  int64
+	RemoteSteals int64
+	CacheHits    int64
+	CacheMisses  int64
+	RemoteMisses int64
 }
 
 // Utilization returns the fraction of P·T_P the processors spent busy.
@@ -146,6 +177,13 @@ const (
 	// VictimLastSuccess retries the last successful victim first and falls
 	// back to random — an affinity heuristic.
 	VictimLastSuccess
+	// VictimDomain is localized stealing: a thief probes victims uniformly
+	// inside its own steal domain (Config.Domains) and escalates to remote
+	// domains only after a full local sweep's worth of consecutive failed
+	// same-domain probes — the simulator's model of the real scheduler's
+	// hierarchical hunt (internal/sched/domain.go). With Domains ≤ 1 it
+	// degenerates to VictimRandom.
+	VictimDomain
 )
 
 // ErrEventBudget is returned when a simulation exceeds MaxEvents.
@@ -160,6 +198,11 @@ type frame struct {
 	stalled bool // parked at a sync with pending > 0
 	ending  bool // the stalling sync was the implicit one before End
 	depth   int64
+	// lastProc is the processor that most recently executed one of this
+	// frame's Exec segments (-1 before the first); the cache model uses it
+	// to classify a miss as remote when that processor's domain differs
+	// from the executor's.
+	lastProc int
 }
 
 // proc is one virtual processor.
@@ -175,6 +218,12 @@ type proc struct {
 	// Victim-policy state: round-robin cursor and last successful victim.
 	rrNext     int
 	lastVictim int
+	// Locality state: the processor's steal domain, its LRU cache of frame
+	// working sets (CacheLines > 0 only), and — under VictimDomain — the
+	// count of consecutive failed same-domain probes driving escalation.
+	domain      int
+	cache       []*frame
+	localMisses int
 }
 
 // lockWaiter is a strand blocked on the global mutex.
@@ -229,6 +278,9 @@ type simulator struct {
 	// quadratic dequeues).
 	central     []*frame
 	centralHead int
+	// domains[d] lists the processor ids in steal domain d (contiguous
+	// blocks, mirroring internal/sched's partition).
+	domains [][]int
 }
 
 // Run simulates program p on the configured machine and returns the
@@ -249,14 +301,32 @@ func Run(p vprog.Program, cfg Config) (Result, error) {
 	if cfg.LockHandoff < 0 {
 		return Result{}, fmt.Errorf("sim: negative LockHandoff")
 	}
+	if cfg.RemoteStealCost < 0 {
+		return Result{}, fmt.Errorf("sim: negative RemoteStealCost")
+	}
+	if cfg.MissCost < 0 {
+		return Result{}, fmt.Errorf("sim: negative MissCost")
+	}
+	if cfg.CacheLines < 0 {
+		return Result{}, fmt.Errorf("sim: negative CacheLines")
+	}
+	if cfg.Domains < 1 {
+		cfg.Domains = 1
+	}
+	if cfg.Domains > cfg.Procs {
+		cfg.Domains = cfg.Procs
+	}
 	s := &simulator{
 		cfg:            cfg,
 		rng:            rand.New(rand.NewSource(cfg.Seed ^ 0x6c696b)),
 		lockLastHolder: -1,
 	}
 	s.procs = make([]*proc, cfg.Procs)
+	s.domains = make([][]int, cfg.Domains)
 	for i := range s.procs {
-		s.procs[i] = &proc{id: i, lastVictim: -1, rrNext: (i + 1) % cfg.Procs}
+		d := i * cfg.Domains / cfg.Procs
+		s.procs[i] = &proc{id: i, lastVictim: -1, rrNext: (i + 1) % cfg.Procs, domain: d}
+		s.domains[d] = append(s.domains[d], i)
 	}
 	s.res.ProcBusy = make([]int64, cfg.Procs)
 
@@ -294,7 +364,7 @@ func Run(p vprog.Program, cfg Config) (Result, error) {
 }
 
 func (s *simulator) newFrame(it vprog.Frame, parent *frame, called bool) *frame {
-	f := &frame{iter: it, parent: parent, called: called}
+	f := &frame{iter: it, parent: parent, called: called, lastProc: -1}
 	if parent != nil {
 		f.depth = parent.depth + 1
 	}
@@ -392,8 +462,12 @@ func (s *simulator) advance(pr *proc, t int64) {
 				continue
 			}
 			s.res.Work += st.Cost
-			pr.busy += st.Cost
-			s.schedule(t+st.Cost, pr.id, evResume)
+			// Cache-model overhead stretches the segment's wall time but not
+			// Work: the dag's intrinsic cost is machine-independent, misses
+			// are not.
+			cost := st.Cost + s.touchCache(pr, f)
+			pr.busy += cost
+			s.schedule(t+cost, pr.id, evResume)
 			return
 		case vprog.Spawn:
 			s.res.Spawns++
@@ -570,16 +644,66 @@ func (s *simulator) trySteal(pr *proc, t int64) {
 		victim := s.procs[s.victimID(pr)]
 		if f := s.stealTop(victim); f != nil {
 			s.res.Steals++
+			remote := victim.domain != pr.domain
+			if remote {
+				s.res.RemoteSteals++
+			} else {
+				s.res.LocalSteals++
+			}
 			pr.lastVictim = victim.id
+			pr.localMisses = 0
 			pr.current = f
+			if remote && s.cfg.RemoteStealCost > 0 {
+				// The prize crosses a domain boundary: the thief stalls for
+				// the transfer before its first instruction of the stolen
+				// continuation.
+				s.schedule(t+s.cfg.RemoteStealCost, pr.id, evResume)
+				return
+			}
 			s.advance(pr, t)
 			return
+		}
+		if victim.domain == pr.domain {
+			pr.localMisses++ // drives VictimDomain's escalation
+		} else {
+			pr.localMisses = 0
 		}
 		if victim.id == pr.lastVictim {
 			pr.lastVictim = -1 // affinity went cold
 		}
 	}
 	s.makeIdle(pr, t)
+}
+
+// touchCache charges frame f's working set against pr's LRU cache and
+// returns the extra virtual time the access costs (0 on a hit or with the
+// cache model disabled). A miss on a frame last executed in another domain
+// also counts as a remote miss.
+func (s *simulator) touchCache(pr *proc, f *frame) int64 {
+	if s.cfg.CacheLines <= 0 {
+		return 0
+	}
+	for i, c := range pr.cache {
+		if c == f {
+			// Hit: move to front (LRU order, linear — caches are small).
+			copy(pr.cache[1:i+1], pr.cache[:i])
+			pr.cache[0] = f
+			s.res.CacheHits++
+			f.lastProc = pr.id
+			return 0
+		}
+	}
+	s.res.CacheMisses++
+	if f.lastProc >= 0 && s.procs[f.lastProc].domain != pr.domain {
+		s.res.RemoteMisses++
+	}
+	if len(pr.cache) < s.cfg.CacheLines {
+		pr.cache = append(pr.cache, nil)
+	}
+	copy(pr.cache[1:], pr.cache[:len(pr.cache)-1])
+	pr.cache[0] = f
+	f.lastProc = pr.id
+	return s.cfg.MissCost
 }
 
 // acquireLock grants the global mutex to pr for a Critical segment of the
@@ -622,6 +746,26 @@ func (s *simulator) victimID(pr *proc) int {
 			v = (v + 1) % len(s.procs)
 		}
 		pr.rrNext = (v + 1) % len(s.procs)
+		return v
+	case VictimDomain:
+		members := s.domains[pr.domain]
+		remote := len(s.procs) - len(members)
+		// Stay local until a full local sweep's worth of consecutive
+		// same-domain probes has failed (or there is nowhere else to go);
+		// then fire one remote probe. Domain blocks are contiguous, so
+		// pr's index within members is pr.id - members[0].
+		if remote == 0 || (len(members) > 1 && pr.localMisses < len(members)-1) {
+			idx := pr.id - members[0]
+			v := s.rng.Intn(len(members) - 1)
+			if v >= idx {
+				v++
+			}
+			return members[v]
+		}
+		v := s.rng.Intn(remote)
+		if v >= members[0] {
+			v += len(members)
+		}
 		return v
 	case VictimLastSuccess:
 		if pr.lastVictim >= 0 && pr.lastVictim != pr.id {

@@ -404,3 +404,126 @@ func TestOfflineFromStart(t *testing.T) {
 		t.Fatalf("offline-from-start processor did %d work", r.ProcBusy[2])
 	}
 }
+
+func TestVictimDomainPrefersLocalSteals(t *testing.T) {
+	// Localized stealing on a 2-domain machine: the escalation ladder keeps
+	// most successful steals inside the thief's own domain, and the locality
+	// split always partitions the steal count exactly.
+	p := vprog.Fib(16)
+	r := mustRun(t, p, Config{Procs: 8, Domains: 2, Victim: VictimDomain, Seed: 7})
+	if r.LocalSteals+r.RemoteSteals != r.Steals {
+		t.Fatalf("LocalSteals %d + RemoteSteals %d != Steals %d", r.LocalSteals, r.RemoteSteals, r.Steals)
+	}
+	if r.Steals == 0 {
+		t.Fatal("no steals on an 8-processor fib — simulator broken")
+	}
+	if r.LocalSteals <= r.RemoteSteals {
+		t.Fatalf("VictimDomain stole mostly remotely: local %d, remote %d", r.LocalSteals, r.RemoteSteals)
+	}
+}
+
+func TestRemoteMissesGrowWithDomains(t *testing.T) {
+	// Gu et al.'s direction: under uniform-random stealing, splitting the
+	// same machine into more domains turns more of the (schedule-identical)
+	// cache misses into cross-domain ones. One domain has no "remote" at all.
+	p := vprog.Fib(16)
+	misses := func(domains int) int64 {
+		var total int64
+		for seed := int64(0); seed < 3; seed++ {
+			r := mustRun(t, p, Config{Procs: 8, Domains: domains, CacheLines: 4, MissCost: 10, Seed: seed})
+			total += r.RemoteMisses
+		}
+		return total
+	}
+	m1, m2, m8 := misses(1), misses(2), misses(8)
+	if m1 != 0 {
+		t.Fatalf("flat machine reported %d remote misses, want 0", m1)
+	}
+	if m8 == 0 {
+		t.Fatal("8-domain machine reported no remote misses")
+	}
+	if m8 < m2 {
+		t.Fatalf("remote misses shrank as domains grew: D=2 %d, D=8 %d", m2, m8)
+	}
+}
+
+func TestVictimDomainReducesRemoteMisses(t *testing.T) {
+	// The policy comparison behind the tentpole: on the same 4-domain
+	// machine, localized stealing keeps frames inside their domain and so
+	// suffers less cross-domain coherence traffic than uniform stealing.
+	p := vprog.Fib(16)
+	total := func(v VictimPolicy) int64 {
+		var n int64
+		for seed := int64(0); seed < 5; seed++ {
+			r := mustRun(t, p, Config{Procs: 8, Domains: 4, CacheLines: 4, MissCost: 10, Victim: v, Seed: seed})
+			n += r.RemoteMisses
+		}
+		return n
+	}
+	random, domain := total(VictimRandom), total(VictimDomain)
+	if domain > random {
+		t.Fatalf("VictimDomain caused more remote misses than VictimRandom: %d > %d", domain, random)
+	}
+}
+
+func TestRemoteStealCostSlowsExecution(t *testing.T) {
+	p := vprog.Fib(16)
+	cheap := mustRun(t, p, Config{Procs: 8, Domains: 4, Seed: 2})
+	dear := mustRun(t, p, Config{Procs: 8, Domains: 4, RemoteStealCost: 500, Seed: 2})
+	if dear.Time < cheap.Time {
+		t.Fatalf("raising RemoteStealCost sped things up: %d < %d", dear.Time, cheap.Time)
+	}
+}
+
+func TestCacheModelPreservesWorkConservation(t *testing.T) {
+	// Miss cost stretches processor busy time but never Work: the dag's
+	// intrinsic cost is machine-independent. Σbusy accounts for every miss
+	// exactly.
+	p := vprog.Fib(14)
+	m := vprog.Analyze(p)
+	r := mustRun(t, p, Config{Procs: 4, Domains: 2, CacheLines: 2, MissCost: 7, Seed: 3})
+	if r.Work != m.Work {
+		t.Fatalf("cache model changed Work: %d, want %d", r.Work, m.Work)
+	}
+	var busy int64
+	for _, b := range r.ProcBusy {
+		busy += b
+	}
+	if want := m.Work + 7*r.CacheMisses; busy != want {
+		t.Fatalf("Σbusy = %d, want work %d + 7·%d misses = %d", busy, m.Work, r.CacheMisses, want)
+	}
+	if r.CacheHits+r.CacheMisses == 0 {
+		t.Fatal("cache model recorded no accesses")
+	}
+}
+
+func TestDomainConfigClamping(t *testing.T) {
+	p := vprog.Fib(12)
+	// Domains beyond Procs clamps to one processor per domain: every steal
+	// is remote. Domains 0 means flat: every steal is local.
+	solo := mustRun(t, p, Config{Procs: 4, Domains: 99, Seed: 1})
+	if solo.LocalSteals != 0 || solo.RemoteSteals != solo.Steals {
+		t.Fatalf("one-proc domains: local %d remote %d steals %d", solo.LocalSteals, solo.RemoteSteals, solo.Steals)
+	}
+	flat := mustRun(t, p, Config{Procs: 4, Domains: 0, Seed: 1})
+	if flat.RemoteSteals != 0 || flat.LocalSteals != flat.Steals {
+		t.Fatalf("flat machine: local %d remote %d steals %d", flat.LocalSteals, flat.RemoteSteals, flat.Steals)
+	}
+	if _, err := Run(p, Config{Procs: 4, MissCost: -1}); err == nil {
+		t.Fatal("negative MissCost accepted")
+	}
+	if _, err := Run(p, Config{Procs: 4, RemoteStealCost: -1}); err == nil {
+		t.Fatal("negative RemoteStealCost accepted")
+	}
+}
+
+func TestDeterminismWithLocalityModel(t *testing.T) {
+	p := vprog.Qsort(8000, 9, 32)
+	cfg := Config{Procs: 8, Domains: 2, Victim: VictimDomain,
+		RemoteStealCost: 20, CacheLines: 4, MissCost: 10, Seed: 42}
+	a := mustRun(t, p, cfg)
+	b := mustRun(t, p, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}

@@ -100,9 +100,13 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Quantile returns an estimate of the q-th quantile (0 ≤ q ≤ 1) by linear
-// interpolation within the bucket holding the q·N-th sample. The overflow
-// bucket interpolates between the last bound and the observed Max, and the
-// estimate is clamped to Max, so Quantile(1) == Max exactly.
+// interpolation within the bucket holding the q·N-th sample. An empty
+// histogram reports 0 for every q. The overflow bucket interpolates between
+// the last bound and the observed Max, and the estimate is clamped to Max,
+// so Quantile(1) == Max exactly. On a histogram whose Counts were filled
+// directly (Max never set — e.g. reassembled from scraped bucket counters)
+// the estimate clamps to the last finite bound instead of extrapolating,
+// and the unknown Max must not clamp in-range estimates to zero.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.N == 0 {
 		return 0
@@ -128,6 +132,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			if i < len(h.Bounds) {
 				hi = h.Bounds[i]
 			} else {
+				// Overflow bucket: interpolate toward Max when it is known;
+				// with Max unrecorded (direct-filled counts) the hi<lo floor
+				// below clamps the estimate to the last finite bound rather
+				// than extrapolating past the ladder.
 				hi = h.Max
 			}
 			if hi < lo {
@@ -144,7 +152,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 				frac = 1
 			}
 			est := lo + time.Duration(frac*float64(hi-lo))
-			if est > h.Max {
+			// Clamp to the observed Max only when one was recorded: with
+			// Max==0 on a direct-filled histogram this clamp used to zero
+			// every in-range estimate.
+			if h.Max > 0 && est > h.Max {
 				est = h.Max
 			}
 			return est

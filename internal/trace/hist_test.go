@@ -82,6 +82,82 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the Quantile edge cases the /metrics path
+// depends on: an empty histogram reports 0, a histogram whose Counts were
+// filled directly (Max never recorded) must clamp overflow-bucket estimates
+// to the last finite bound instead of extrapolating — and must not let the
+// zero Max clamp in-range estimates down to 0, which it used to do.
+func TestHistogramQuantileEdges(t *testing.T) {
+	bounds := LogBounds(time.Microsecond, time.Millisecond, 2)
+	last := bounds[len(bounds)-1]
+	mk := func(fill func(h *Histogram)) Histogram {
+		h := NewHistogram(bounds)
+		fill(&h)
+		return h
+	}
+	cases := []struct {
+		name string
+		h    Histogram
+		q    float64
+		want func(got time.Duration) bool
+		desc string
+	}{
+		{
+			name: "empty",
+			h:    mk(func(h *Histogram) {}),
+			q:    0.5,
+			want: func(got time.Duration) bool { return got == 0 },
+			desc: "0",
+		},
+		{
+			name: "direct-fill in-range not zeroed by unset Max",
+			h: mk(func(h *Histogram) {
+				h.Counts[3] = 10 // as if scraped: Max stays 0
+				h.N = 10
+			}),
+			q:    0.5,
+			want: func(got time.Duration) bool { return got > 0 && got <= bounds[3] },
+			desc: "within bucket 3's bounds, not clamped to the zero Max",
+		},
+		{
+			name: "direct-fill overflow clamps to last finite bound",
+			h: mk(func(h *Histogram) {
+				h.Counts[len(h.Counts)-1] = 5
+				h.N = 5
+			}),
+			q:    0.99,
+			want: func(got time.Duration) bool { return got == last },
+			desc: last.String(),
+		},
+		{
+			name: "observed overflow clamps to Max",
+			h: mk(func(h *Histogram) {
+				h.Observe(2 * time.Millisecond)
+				h.Observe(8 * time.Millisecond)
+			}),
+			q:    1,
+			want: func(got time.Duration) bool { return got == 8*time.Millisecond },
+			desc: "Max 8ms",
+		},
+		{
+			name: "observed overflow never exceeds Max",
+			h: mk(func(h *Histogram) {
+				h.Observe(2 * time.Millisecond)
+			}),
+			q:    0.5,
+			want: func(got time.Duration) bool { return got >= last && got <= 2*time.Millisecond },
+			desc: "in [last bound, Max]",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.h.Quantile(c.q); !c.want(got) {
+				t.Errorf("Quantile(%v) = %v, want %s", c.q, got, c.desc)
+			}
+		})
+	}
+}
+
 func TestLiveHistogramConcurrent(t *testing.T) {
 	h := NewLiveHistogram(nil)
 	const goroutines, per = 8, 1000
