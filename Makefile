@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve bench-local stress-deque fuzz-sched fuzz-sched-long clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve bench-local bench-spawn prof-spawn mint-baseline stress-deque fuzz-sched fuzz-sched-long clean
 
 all: build vet test
 
@@ -110,6 +110,43 @@ bench-local:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json > BENCH_local.json
 
+# Spawn fast-path gate: run the W-series benchmarks (spawn-dense fib, flat
+# wide spawn, the hyperobject-free vs reducer-heavy pair) plus the
+# uncancelled C-series runs as the no-regression guard, into
+# BENCH_spawn.json. Two in-process gates ride on it, neither of which can go
+# stale the way a committed ns/op baseline does: -gateallocs pins exact
+# allocation counts (fib's 57320 is 2 user closure captures per spawn with
+# zero scheduler contribution — see spawn_bench_test.go; wide-flat's 8
+# bounds the fixed per-Run setup with nothing per spawn), and -ab records
+# the reducer machinery's cost against the hyperobject-free twin measured in
+# the same process. The committed seed baseline still tracks cross-commit
+# drift for the C-series guard (see EXPERIMENTS.md for the minting
+# procedure).
+bench-spawn:
+	$(GO) test -run '^$$' -bench 'BenchmarkSpawn|BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -count=3 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json \
+			-gateallocs 'BenchmarkSpawnFib=57320,BenchmarkSpawnWideFlat=8' \
+			-ab 'BenchmarkSpawnReducerHeavy=BenchmarkSpawnHyperFree' > BENCH_spawn.json
+
+# Spawn fast-path profiles: CPU and allocation pprof captures of the
+# spawn-dense fib shape, for digging into a bench-spawn regression.
+prof-spawn:
+	$(GO) test -run '^$$' -bench 'BenchmarkSpawnFib' -benchtime 2s \
+		-cpuprofile spawn_cpu.out -memprofile spawn_mem.out .
+	@echo "inspect with: $(GO) tool pprof -top spawn_cpu.out"
+	@echo "              $(GO) tool pprof -top -sample_index=alloc_objects spawn_mem.out"
+
+# Re-mint the committed seed baseline on the current machine: the absolute
+# ns/op numbers in bench_seed_baseline.json are only comparable to runs on
+# the same hardware, so a machine change (or a deliberate re-anchoring after
+# an accepted perf change) re-runs every gated benchmark and rewrites the
+# file. See EXPERIMENTS.md for when re-minting is legitimate.
+mint-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkCancel|BenchmarkSteal|BenchmarkLoop|BenchmarkObs|BenchmarkLocal|BenchmarkSpawn' -benchmem -count=5 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson > bench_seed_baseline.json
+
 # Deque stress: the grow-vs-thieves and batch-steal tests plus the scheduler's
 # steal-path, lazy-loop exactly-once, and steal-domain tests — and the
 # fault-injected Gate/San suites (forced claim/CAS failures, stretched claim
@@ -117,6 +154,7 @@ bench-local:
 # (mirrors the CI job).
 stress-deque:
 	$(GO) test -race -count=5 -run 'StealBatch|GrowRacesThieves|ClearsSlots|UnparkWakeup|HuntPhase|RangeExactlyOnce|Gate|San|Domain' ./internal/deque/ ./internal/sched/
+	$(GO) test -race -count=5 -run 'TestAlloc' .
 
 # Schedule fuzzing: the pinned regression corpus plus 1000 fresh seeded fault
 # schedules through the schedfuzz property suites with invariants and the

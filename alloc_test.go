@@ -1,0 +1,88 @@
+// Allocation regression gates: the work-first principle demands that the
+// spawn/sync fast path not allocate, and testing.AllocsPerRun makes that a
+// deterministic assertion rather than a benchmark number someone has to
+// eyeball. Each test drives the real scheduler shape and pins its exact
+// allocation count; `make stress-deque` repeats them under the race
+// detector (where the counts are inflated by instrumentation, so the
+// numeric assertions skip but the shapes still execute).
+package cilkgo_test
+
+import (
+	"testing"
+
+	"cilkgo"
+)
+
+// gateAllocs runs f under testing.AllocsPerRun and fails when the average
+// allocation count exceeds limit. Under -race the shapes still execute but
+// the numeric check is waived: the race runtime allocates shadow state on
+// paths that are allocation-free in a normal build. The waiver must be a
+// plain return, not t.Skip — gateAllocs runs inside rt.Run on a worker
+// goroutine, and Skip's runtime.Goexit would kill the worker mid-task and
+// deadlock the join.
+func gateAllocs(t *testing.T, name string, limit float64, f func()) {
+	t.Helper()
+	f() // warm the freelists and pools before counting
+	got := testing.AllocsPerRun(100, f)
+	t.Logf("%s: %.2f allocs/op (gate ≤%.0f)", name, got, limit)
+	if raceEnabled {
+		t.Logf("%s: -race build, allocation gate not enforced", name)
+		return
+	}
+	if got > limit {
+		t.Errorf("%s allocated %.2f per op, want ≤%.0f", name, got, limit)
+	}
+}
+
+// TestAllocSpawnSyncPingPong pins the core work-first claim: one spawn plus
+// one sync on a warm worker allocates at most once — and with the task,
+// frame, and Context fused into one recycled object, actually zero.
+func TestAllocSpawnSyncPingPong(t *testing.T) {
+	rt := cilkgo.New(cilkgo.WithWorkers(2))
+	defer rt.Shutdown()
+	child := func(*cilkgo.Context) {}
+	err := rt.Run(func(c *cilkgo.Context) {
+		gateAllocs(t, "spawn/sync ping-pong", 1, func() {
+			c.Spawn(child)
+			c.Sync()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocWideForChunk pins the cilk_for steady state: a wide loop costs
+// one range task plus one loopState per For, and nothing per chunk — the
+// peel protocol republishes the same task object. The budget covers the
+// per-For setup only.
+func TestAllocWideForChunk(t *testing.T) {
+	rt := cilkgo.New(cilkgo.WithWorkers(2))
+	defer rt.Shutdown()
+	sink := make([]uint8, 1<<14)
+	err := rt.Run(func(c *cilkgo.Context) {
+		gateAllocs(t, "wide cilk_for", 8, func() {
+			cilkgo.For(c, 0, len(sink), func(_ *cilkgo.Context, i int) {
+				sink[i]++
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocSubmitRoundTrip pins the uncontended Submit/Wait round trip: the
+// root task rides inside its pooled frame, so a whole run costs only the
+// runState, ticket, done-channel, and stats-cell setup — a fixed constant,
+// independent of what the run spawns.
+func TestAllocSubmitRoundTrip(t *testing.T) {
+	rt := cilkgo.New(cilkgo.WithWorkers(2))
+	defer rt.Shutdown()
+	fn := func(*cilkgo.Context) {}
+	gateAllocs(t, "submit round-trip", 24, func() {
+		if err := rt.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

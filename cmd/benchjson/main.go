@@ -15,6 +15,21 @@
 // baseline_ns_per_op and overhead_pct = 100·(now−baseline)/baseline, so the
 // recorded JSON carries the cross-commit comparison itself.
 //
+// With -ab "variant=base,..." (interleaved A/B mode), each named variant is
+// diffed against its base *from the same run*: both benchmarks executed in
+// one process, interleaved by go test, on the same machine at the same
+// moment. The variant entry gains ab_base, ab_base_ns_per_op and
+// ab_delta_pct = 100·(variant−base)/base. Unlike -baseline (a committed
+// measurement from some other machine on some other day), an A/B pair
+// cannot go stale: machine-speed drift cancels because both sides moved
+// together. -maxab fails the run (exit 1) when any pair's delta exceeds the
+// budget; the default 0 records deltas without gating.
+//
+// With -gateallocs "name=N,...", the run fails (exit 1) when a named
+// benchmark's allocs/op exceeds N. Requires -benchmem output. Allocation
+// counts are deterministic — unlike ns/op they do not need minima across
+// samples or a noise budget — so the gate is exact.
+//
 // With -serve, stdin is a cmd/cilkload JSON report instead of go test -bench
 // text: the flat latency series ("tenant@xN" → p50/p95/p99) are diffed by
 // name against -baseline (a previous cilkload/benchjson -serve output), each
@@ -51,6 +66,89 @@ type result struct {
 	// Set only when -baseline matched this benchmark by name.
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	OverheadPct     float64 `json:"overhead_pct,omitempty"`
+	// Set only when -ab named this benchmark as a variant: the same-run
+	// benchmark it was diffed against and the interleaved delta.
+	ABBase        string  `json:"ab_base,omitempty"`
+	ABBaseNsPerOp float64 `json:"ab_base_ns_per_op,omitempty"`
+	ABDeltaPct    float64 `json:"ab_delta_pct,omitempty"`
+}
+
+// parsePairs parses "key=value,key=value" flag syntax.
+func parsePairs(flagName, s string) (map[string]string, error) {
+	m := map[string]string{}
+	if s == "" {
+		return m, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("-%s: bad pair %q (want name=value)", flagName, pair)
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// applyAB annotates each variant named in pairs (variant → base) with the
+// delta against its base from the same collapsed run. Returns 1 when a pair
+// exceeds maxPct (0 disables the gate), 2 on a missing benchmark.
+func applyAB(results []result, pairs map[string]string, maxPct float64) int {
+	byName := make(map[string]*result, len(results))
+	for i := range results {
+		byName[results[i].Name] = &results[i]
+	}
+	exit := 0
+	for variant, base := range pairs {
+		v, okV := byName[variant]
+		b, okB := byName[base]
+		if !okV || !okB {
+			fmt.Fprintf(os.Stderr, "benchjson: -ab pair %s=%s: benchmark not in input\n", variant, base)
+			exit = 2
+			continue
+		}
+		v.ABBase = base
+		v.ABBaseNsPerOp = b.NsPerOp
+		v.ABDeltaPct = 100 * (v.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if maxPct > 0 && v.ABDeltaPct > maxPct {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s %.0f ns/op vs %s %.0f ns/op (%+.1f%% > %.0f%% budget)\n",
+				variant, v.NsPerOp, base, b.NsPerOp, v.ABDeltaPct, maxPct)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// applyAllocGates fails benchmarks whose allocs/op exceed their gate.
+// Returns 1 on an exceeded gate, 2 on a missing benchmark or bad gate.
+func applyAllocGates(results []result, gates map[string]string) int {
+	byName := make(map[string]*result, len(results))
+	for i := range results {
+		byName[results[i].Name] = &results[i]
+	}
+	exit := 0
+	for name, limitStr := range gates {
+		limit, err := strconv.ParseInt(limitStr, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -gateallocs %s=%s: %v\n", name, limitStr, err)
+			exit = 2
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: -gateallocs: benchmark %s not in input\n", name)
+			exit = 2
+			continue
+		}
+		if r.AllocsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s %d allocs/op (gate: ≤%d)\n", name, r.AllocsPerOp, limit)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
 }
 
 // loadBaseline reads a previous benchjson output into a name → ns/op map.
@@ -189,6 +287,9 @@ func main() {
 	baselinePath := flag.String("baseline", "", "previous benchjson output to diff against")
 	serveMode := flag.Bool("serve", false, "stdin is a cmd/cilkload JSON report: diff latency percentiles by series name instead of parsing go test -bench text")
 	maxP99 := flag.Float64("maxp99", 10, "with -serve: fail when a series' p99 regressed by more than this percent vs. the baseline")
+	abPairs := flag.String("ab", "", "interleaved A/B pairs 'variant=base,...': diff each variant against its base from this same run")
+	maxAB := flag.Float64("maxab", 0, "with -ab: fail when a variant is slower than its base by more than this percent (0 = record only)")
+	gateAllocs := flag.String("gateallocs", "", "allocation gates 'name=N,...': fail when a benchmark exceeds N allocs/op")
 	flag.Parse()
 	if *serveMode {
 		os.Exit(serveMain(*baselinePath, *maxP99))
@@ -244,10 +345,32 @@ func main() {
 			results[i].OverheadPct = 100 * (results[i].NsPerOp - base) / base
 		}
 	}
+	exit := 0
+	if *abPairs != "" {
+		pairs, err := parsePairs("ab", *abPairs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if e := applyAB(results, pairs, *maxAB); e > exit {
+			exit = e
+		}
+	}
+	if *gateAllocs != "" {
+		gates, err := parsePairs("gateallocs", *gateAllocs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if e := applyAllocGates(results, gates); e > exit {
+			exit = e
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	os.Exit(exit)
 }

@@ -146,9 +146,15 @@ func New[T any]() *Deque[T] {
 // written without synchronization).
 func (d *Deque[T]) SetGate(g Gate) { d.gate = g }
 
-// PushBottom pushes v onto the bottom (owner end) of the deque.
+// PushBottom pushes v onto the bottom (owner end) of the deque. It reports
+// whether the deque was empty immediately before the push — i.e. whether this
+// push made work visible where there was none. Schedulers use that edge to
+// hoist wake probes out of the per-push fast path: pushes onto an already
+// non-empty deque cannot strand a parked thief, so only the empty→non-empty
+// transition needs to signal. The report is computed from loads the push
+// already performs, so callers that ignore it pay nothing.
 // Only the owner may call it.
-func (d *Deque[T]) PushBottom(v *T) {
+func (d *Deque[T]) PushBottom(v *T) bool {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	r := d.ring.Load()
@@ -158,6 +164,7 @@ func (d *Deque[T]) PushBottom(v *T) {
 	}
 	r.store(b, v)
 	d.bottom.Store(b + 1)
+	return b == t
 }
 
 // PopBottom pops the most recently pushed item from the bottom. It returns

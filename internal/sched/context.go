@@ -70,10 +70,10 @@ func (c *Context) Spawn(fn func(*Context)) {
 		c.spawnSerial(fn)
 		return
 	}
-	if c.frame.run.cancelled() {
+	f := c.frame
+	if f.run.cancelled() {
 		return
 	}
-	f := c.frame
 	if cl := f.run.clock; cl != nil {
 		// Observed run: the spawn ends the current strand segment — charge
 		// it, so the child's spawnSpan below is the span at the spawn point.
@@ -90,19 +90,26 @@ func (c *Context) Spawn(fn func(*Context)) {
 		c.ckey, c.cview = nil, nil
 	}
 	f.pending.Add(1)
-	child := newFrame(f, f.run, ord, f.depth+1)
-	// spanLocal is zero on unobserved runs, and pooled frames reset the
+	w := c.w
+	child := w.getFrame(f, f.run, ord, f.depth+1)
+	// spanLocal is zero on unobserved runs, and recycled frames reset the
 	// field, so the store needs no clock gate.
 	child.spawnSpan = c.spanLocal
-	c.w.ws.spawns.Add(1)
+	child.t.fn = fn
+	bump(&w.ws.spawns)
 	if s := f.run.stats; s != nil {
-		s.spawns.Add(1)
+		bump(&s.cells[w.id].spawns)
 	}
-	c.w.rec.Spawn()
-	c.w.deque.PushBottom(newTask(fn, child))
-	// The push made work stealable; if any worker sits in the park phase of
-	// its hunt, wake it (one atomic load when nobody is parked).
-	c.rt.wake()
+	w.rec.Spawn()
+	// Wake a parked worker only when this push made the deque non-empty: a
+	// non-empty deque already blocks parking (the parker's under-lock
+	// stealableWork re-check), so pushes onto a deque with visible work
+	// cannot strand anyone — and spawn-path wakes are droppable anyway (see
+	// stealableWork's lost-wakeup argument). Spawn-dense runs thus probe
+	// rt.parked once per run-dry episode instead of once per spawn.
+	if w.deque.PushBottom(&child.t) {
+		c.rt.wake()
+	}
 }
 
 // spawnSerial executes the child immediately as an ordinary call, firing
@@ -116,15 +123,21 @@ func (c *Context) spawnSerial(fn func(*Context)) {
 	if h != nil {
 		h.Spawn()
 	}
-	child := newFrame(c.frame, c.frame.run, 0, c.frame.depth+1)
-	if s := c.frame.run.stats; s != nil {
-		// The serial elision's live frames are its call depth.
-		s.spawns.Add(1)
-		s.tasksRun.Add(1)
-		maxStore(&s.maxDepth, int64(child.depth))
-		maxStore(&s.maxLiveFrames, int64(child.depth)+1)
+	rs := c.frame.run
+	child := newFrameShared(c.frame, rs, 0, c.frame.depth+1)
+	if rs.stats != nil {
+		// Serial-elision accounting is tracked in plain per-run fields on
+		// the single strand — the old per-spawn maxStore CAS loops were pure
+		// overhead with one writer — and published into cell 0 once, at run
+		// end (runSerial). The serial elision's live frames are its call
+		// depth, so the depth watermark carries both gauges.
+		rs.serialSpawns++
+		if d := int64(child.depth); d > rs.serialMaxDepth {
+			rs.serialMaxDepth = d
+		}
 	}
-	cc := &Context{rt: c.rt, frame: child, views: c.views}
+	cc := &child.ctx
+	cc.rt, cc.views = c.rt, c.views
 	if h != nil {
 		h.FrameStart()
 	}
@@ -135,7 +148,7 @@ func (c *Context) spawnSerial(fn func(*Context)) {
 	if h != nil {
 		h.FrameEnd()
 	}
-	freeFrame(child) // not freed on a panic path: the pool tolerates leaks
+	freeFrameShared(child) // not freed on a panic path: the pool tolerates leaks
 }
 
 // Call executes fn synchronously in a fresh frame, like an ordinary (not
@@ -148,8 +161,17 @@ func (c *Context) Call(fn func(*Context)) {
 	if h != nil {
 		h.CallStart()
 	}
-	child := newFrame(c.frame, c.frame.run, 0, c.frame.depth+1)
-	cc := &Context{w: c.w, rt: c.rt, frame: child, views: c.views}
+	w := c.w
+	var child *frame
+	if w != nil {
+		child = w.getFrame(c.frame, c.frame.run, 0, c.frame.depth+1)
+	} else {
+		child = newFrameShared(c.frame, c.frame.run, 0, c.frame.depth+1)
+	}
+	// The callee borrows the child frame's embedded Context — a Call
+	// allocates nothing on a warm freelist.
+	cc := &child.ctx
+	cc.w, cc.rt, cc.views = w, c.rt, c.views
 	cl := c.frame.run.clock
 	if cl != nil {
 		// A called frame stays on the caller's strand: the callee's clock
@@ -168,7 +190,12 @@ func (c *Context) Call(fn func(*Context)) {
 	if h != nil {
 		h.CallEnd()
 	}
-	freeFrame(child) // not freed on a panic path: the pool tolerates leaks
+	// Not freed on a panic path: the recycler tolerates leaks.
+	if w != nil {
+		w.putFrame(child)
+	} else {
+		freeFrameShared(child)
+	}
 }
 
 // Sync waits until every child spawned by this function has completed — a
@@ -201,15 +228,24 @@ func (c *Context) Sync() {
 		c.rt.sanViolation("sync on frame depth %d observed join counter %d — a child joined twice", f.depth, n)
 	}
 	if f.nextOrdinal > 0 || f.nextLoopSeq > 0 {
-		if c.w != nil {
-			// Sanitizer: stretch the window between the last child deposit
-			// and the fold that consumes the deposits.
-			c.w.san.Delay(schedsan.PointViewFold)
+		// Fold only when some hyperobject bookkeeping actually landed this
+		// region — a sealed segment or a deposit. Otherwise the fold is the
+		// identity on c.views (nothing was sealed, so the strand's map IS
+		// the serial accumulation) and the whole machinery — redMu, the
+		// segment walk, the piece sort, the view-cache invalidation — is
+		// skipped. The depositedViews read is ordered after every deposit by
+		// the join counter reaching zero above (syncWait's load).
+		if f.sealedViews || f.depositedViews {
+			if c.w != nil {
+				// Sanitizer: stretch the window between the last child
+				// deposit and the fold that consumes the deposits.
+				c.w.san.Delay(schedsan.PointViewFold)
+			}
+			c.views = f.foldViews(c.views)
+			c.ckey, c.cview = nil, nil
 		}
-		c.views = f.foldViews(c.views)
 		f.nextOrdinal = 0
 		f.nextLoopSeq = 0
-		c.ckey, c.cview = nil, nil
 	}
 }
 

@@ -77,6 +77,18 @@ type frame struct {
 	// their piece deposits. Only the frame's own strand touches it.
 	nextLoopSeq int32
 
+	// Hyperobject-activity flags, split by writer so they stay race-free:
+	// sealedViews is set by the frame's own strand when Spawn seals a
+	// segment; depositedViews is set under redMu by children and range
+	// pieces depositing views (the parent's unlocked read is ordered by the
+	// join-counter decrement that follows every deposit). While both are
+	// false at a sync the fold — redMu, segment walk, piece sort — is
+	// skipped entirely, so a run that touches no hyperobjects pays two
+	// boolean tests per sync (work-first: the common case must not fund the
+	// rare one).
+	sealedViews    bool
+	depositedViews bool
+
 	// Online work/span fields (see obs.go), live only on observed runs.
 	// spawnSpan is the parent's local span at the instant this frame was
 	// spawned (written by the parent's strand before the task is pushed,
@@ -85,6 +97,17 @@ type frame struct {
 	// concurrently by the children and folded by this frame's Sync.
 	spawnSpan int64
 	spanChild atomic.Int64
+
+	// t and ctx are the frame's spawn task and execution Context, embedded
+	// so one allocation covers all three objects a spawn needs (the
+	// work-first principle: a spawn should cost a small constant over a
+	// call, and allocator trips are most of that constant). t.frame and
+	// ctx.frame are self-links, set once at allocation and preserved across
+	// pool lives. Range tasks are never embedded — the peel protocol needs
+	// their address to be independent of any frame (see task) — and the
+	// serial elision's root frame leaves both fields unused.
+	t   task
+	ctx Context
 }
 
 // pieceDeposit is one range piece's folded views, positioned in serial
@@ -117,6 +140,7 @@ func (f *frame) depositPiece(seq int32, start int, views viewMap) {
 		}
 	}
 	f.pieces = append(f.pieces, pieceDeposit{seq: seq, start: start, views: views})
+	f.depositedViews = true
 	f.redMu.Unlock()
 }
 
@@ -124,6 +148,7 @@ func (f *frame) depositPiece(seq int32, start int, views viewMap) {
 // child k in serial order. Called only by the frame's own strand.
 func (f *frame) sealSegment(k int32, views viewMap) {
 	f.sealed = storeAt(f.sealed, int(k), views)
+	f.sealedViews = true
 }
 
 // depositChildViews records child k's final views. Called by the child's
@@ -138,6 +163,7 @@ func (f *frame) depositChildViews(k int32, views viewMap) {
 		f.redMu.Lock()
 	}
 	f.childViews = storeAt(f.childViews, int(k), views)
+	f.depositedViews = true
 	f.redMu.Unlock()
 }
 
@@ -164,9 +190,7 @@ func storeAt(s []viewMap, k int, v viewMap) []viewMap {
 func (f *frame) foldViews(current viewMap) viewMap {
 	f.redMu.Lock()
 	children := f.childViews
-	f.childViews = nil
 	pieces := f.pieces
-	f.pieces = nil
 	f.redMu.Unlock()
 	var acc viewMap
 	for k := int32(0); k < f.nextOrdinal; k++ {
@@ -189,8 +213,36 @@ func (f *frame) foldViews(current viewMap) viewMap {
 			acc = mergeViews(acc, pieces[i].views)
 		}
 	}
-	f.sealed = nil
+	// Retain the outer arrays' capacity for the frame's next sync region
+	// (and next pool life): zero the elements — the folded inner viewMaps
+	// may live on, aliased by acc — and truncate. Only the outer []viewMap /
+	// []pieceDeposit backing is written here, never an inner viewMap, so the
+	// aliasing is safe. No child or piece can be depositing concurrently
+	// (the join counter reached zero before the fold), but childViews and
+	// pieces take redMu anyway to pair with the depositors' critical
+	// sections.
+	f.redMu.Lock()
+	f.childViews = clearViewMaps(f.childViews)
+	for i := range f.pieces {
+		f.pieces[i] = pieceDeposit{}
+	}
+	f.pieces = f.pieces[:0]
+	f.depositedViews = false
+	f.redMu.Unlock()
+	f.sealed = clearViewMaps(f.sealed)
+	f.sealedViews = false
 	return acc
+}
+
+// clearViewMaps nils the elements of an outer view-map array and truncates
+// it, retaining the backing array for reuse. The inner viewMaps are shared
+// with deposits that outlive the owner (mergeViews reuses its operands), so
+// only the outer slots may be cleared.
+func clearViewMaps(s []viewMap) []viewMap {
+	for i := range s {
+		s[i] = nil
+	}
+	return s[:0]
 }
 
 // viewMap holds the hyperobject views of one strand segment, keyed by
@@ -298,6 +350,15 @@ type runState struct {
 	picked      bool
 	stop        func()
 	releaseOnce sync.Once
+
+	// Serial-elision accounting: the elision is one strand, so its counters
+	// are plain fields bumped by spawnSerial and published into stats cell 0
+	// once, when runSerial finishes — replacing the old per-spawn atomic
+	// adds and double maxStore CAS loops. Meaningful only on serial runtimes
+	// with stats armed; the elision's live frames are its call depth, so
+	// serialMaxDepth carries the MaxLiveFrames watermark too (depth+1).
+	serialSpawns   int64
+	serialMaxDepth int64
 }
 
 // queueLatency reports how long the root waited for pickup (0 until picked).
@@ -326,10 +387,17 @@ func (rs *runState) release() {
 	})
 }
 
-// runCounters are the per-computation analogue of workerStats: updated by
-// whichever workers execute the computation's tasks, so every field is
-// atomic (and the max gauges use maxStore's CAS loop).
-type runCounters struct {
+// runCell is one worker's shard of a run's counters. Each cell is written
+// only by the worker whose id indexes it (the serial elision publishes into
+// cell 0, once, at run end), so the hot-path updates are single-writer
+// load-then-stores — no LOCK'd read-modify-write, and, because cells of
+// different workers sit on different cache lines (the pad below), no shared
+// cacheline traffic either. That is the point of the sharding: before it,
+// every spawn and task of an observed run contended one runCounters struct
+// from all workers at once. Readers (snapshot, the quiescence checker) sum
+// the counters and max the gauges across cells; the atomics make those
+// cross-thread reads well-defined.
+type runCell struct {
 	spawns        atomic.Int64
 	steals        atomic.Int64
 	tasksRun      atomic.Int64
@@ -340,23 +408,57 @@ type runCounters struct {
 	loopSplits    atomic.Int64
 	chunksPeeled  atomic.Int64
 	rangeSteals   atomic.Int64
+	_             [48]byte // pad 10×8 B of counters to two 64 B cache lines
 }
 
-// snapshot folds the per-run counters into a Stats. StealAttempts is zero:
-// failed probes are not attributable to one computation.
+// runCounters is a run's accounting, sharded one cell per worker.
+type runCounters struct {
+	cells []runCell
+}
+
+// newRunCounters sizes the shard array for a runtime with n workers (the
+// serial elision has none and gets the single cell its one strand needs).
+func newRunCounters(n int) *runCounters {
+	if n < 1 {
+		n = 1
+	}
+	return &runCounters{cells: make([]runCell, n)}
+}
+
+// liveFrameSum is the run's current live-frame count, summed across cells.
+// Exact only at quiescence — a task's +1 and −1 always land in the same
+// cell, so the sum settles to zero when the run drains.
+func (s *runCounters) liveFrameSum() int64 {
+	var n int64
+	for i := range s.cells {
+		n += s.cells[i].liveFrames.Load()
+	}
+	return n
+}
+
+// snapshot folds the per-run counters into a Stats, summing counts and
+// maxing gauges across the worker cells. StealAttempts is zero: failed
+// probes are not attributable to one computation. MaxLiveFrames is the
+// per-worker high-water mark (the maximum over cells), matching the
+// runtime-wide Stats field it mirrors.
 func (rs *runState) snapshot() Stats {
 	var out Stats
 	if s := rs.stats; s != nil {
-		out = Stats{
-			Spawns:        s.spawns.Load(),
-			Steals:        s.steals.Load(),
-			TasksRun:      s.tasksRun.Load(),
-			TasksSkipped:  s.tasksSkipped.Load(),
-			MaxLiveFrames: s.maxLiveFrames.Load(),
-			MaxDepth:      s.maxDepth.Load(),
-			LoopSplits:    s.loopSplits.Load(),
-			ChunksPeeled:  s.chunksPeeled.Load(),
-			RangeSteals:   s.rangeSteals.Load(),
+		for i := range s.cells {
+			c := &s.cells[i]
+			out.Spawns += c.spawns.Load()
+			out.Steals += c.steals.Load()
+			out.TasksRun += c.tasksRun.Load()
+			out.TasksSkipped += c.tasksSkipped.Load()
+			out.LoopSplits += c.loopSplits.Load()
+			out.ChunksPeeled += c.chunksPeeled.Load()
+			out.RangeSteals += c.rangeSteals.Load()
+			if m := c.maxLiveFrames.Load(); m > out.MaxLiveFrames {
+				out.MaxLiveFrames = m
+			}
+			if m := c.maxDepth.Load(); m > out.MaxDepth {
+				out.MaxDepth = m
+			}
 		}
 	}
 	if cl := rs.clock; cl != nil {
@@ -405,64 +507,205 @@ func (rs *runState) finish() {
 	close(rs.done)
 }
 
-// taskPool and framePool recycle the two objects allocated per spawn. The
-// scheduler churns through one task and one frame per Spawn; recycling them
-// is safe because every path that retires a task or frame owns it exclusively
-// by then — ring slots are cleared on pop/steal/batch and losing thieves only
-// discard their stale pointers, so no one can observe a recycled object
-// through the deque.
-var (
-	taskPool  = sync.Pool{New: func() any { return new(task) }}
-	framePool = sync.Pool{New: func() any { return new(frame) }}
+// Frame recycling — the spawn path's allocator. A spawn allocates exactly
+// one object: a frame, with its task and Context embedded (see frame). The
+// fast path is a per-worker freelist accessed with no synchronization at
+// all; overflow spills in frameBatchSize blocks to a global sync.Pool
+// backstop, and a dry worker refills a whole block from the same backstop,
+// carving a fresh contiguous slab on a miss. Routing through a sync.Pool
+// keeps the old pool semantics — idle memory still returns to the GC under
+// pressure, and the refill path re-balances frames between producer-heavy
+// and consumer-heavy workers. Serial elision and Submit run on caller
+// goroutines with no worker identity, so they share a plain per-frame
+// sync.Pool path (framePool).
+//
+// Recycling remains safe for the same reason the old global pools were
+// (PR 3's GC-safety work): every path that retires a frame owns it
+// exclusively by then — ring slots are cleared on pop/steal/batch and
+// losing thieves only discard stale pointers, so no one can observe a
+// recycled frame (or its embedded task) through the deque.
+const (
+	// frameBatchSize is the spill/refill transfer unit and the slab carve
+	// size; frameLocalCap bounds the private freelist so a consumer-heavy
+	// worker (one that mostly joins frames spawned elsewhere) hands its
+	// surplus back instead of hoarding it.
+	frameBatchSize = 32
+	frameLocalCap  = 64
 )
 
-func newTask(fn func(*Context), f *frame) *task {
-	t := taskPool.Get().(*task)
-	t.fn, t.frame = fn, f
-	return t
+// frameSlab boxes one spill/refill batch so the backstop pool moves whole
+// batches without a per-transfer slice-header allocation.
+type frameSlab struct{ fr [frameBatchSize]*frame }
+
+var (
+	// slabPool is the batch backstop between worker freelists. Get returns
+	// nil on empty (no New): the caller carves a fresh slab instead.
+	slabPool sync.Pool
+	// boxPool recirculates emptied slab boxes back to spillers. The flow is
+	// one-directional in a producer/consumer phase — spawning workers refill
+	// (emptying boxes) while joining workers spill (needing boxes) — so
+	// without this return path every spill past the spiller's single cached
+	// box would allocate a fresh one: one allocation per frameBatchSize
+	// frame crossings, forever.
+	boxPool sync.Pool
+	// framePool is the shared, worker-less path: serial elision frames,
+	// Submit roots, and Call frames on serial runtimes.
+	framePool = sync.Pool{New: func() any { return initFrame(new(frame)) }}
+)
+
+// initFrame installs the self-links of a freshly allocated frame; they are
+// preserved across pool lives.
+func initFrame(f *frame) *frame {
+	f.t.frame = f
+	f.ctx.frame = f
+	return f
 }
 
-// freeTask recycles a retired fn task. Range tasks are left to the garbage
-// collector instead: the peel protocol recognizes its re-published remainder
-// by comparing task pointers, so recycling a finished range task into a new
-// fn task could alias a pointer a peeling worker still compares against
-// (the pool would hand the address to a Spawn on the same worker, whose
-// push would then satisfy the peeler's identity check for a task that is no
-// longer its remainder). Range tasks are rare — O(splits), not O(n/grain) —
-// so the allocation is noise.
-func freeTask(t *task) {
-	if t.loop != nil {
-		t.loop = nil
-		return
+// resetFrame clears every field a previous life could have set, retaining
+// the capacity of the outer bookkeeping arrays (their elements are nil'd —
+// never the inner viewMaps, which deposits may still alias; see
+// clearViewMaps). The strand's own ctx.views header is dropped rather than
+// reused: depositChildViews hands that backing array to the parent, so it
+// outlives the frame. pending is zero at retirement (the frame joined), but
+// a skipped frame may carry stale bookkeeping, so reset explicitly.
+func resetFrame(f *frame) {
+	f.parent, f.run = nil, nil
+	f.pending.Store(0)
+	f.ordinal, f.nextOrdinal, f.depth = 0, 0, 0
+	f.sealed = clearViewMaps(f.sealed)
+	f.childViews = clearViewMaps(f.childViews)
+	for i := range f.pieces {
+		f.pieces[i] = pieceDeposit{}
 	}
-	t.fn, t.frame = nil, nil
-	taskPool.Put(t)
+	f.pieces = f.pieces[:0]
+	f.nextLoopSeq = 0
+	f.sealedViews, f.depositedViews = false, false
+	f.spawnSpan = 0
+	f.spanChild.Store(0)
+	if f.t.fn != nil { // already nil'd by runTask on the common path
+		f.t.fn = nil
+	}
+	// The embedded Context resets field-wise rather than by struct store: on
+	// the spawn-dense fast path every pointer field is already nil, and the
+	// guard turns six barriered pointer writes into one predicted branch.
+	// ctx.w and ctx.rt are deliberately left stale — every consumer rebinds
+	// them before use (runTask, Call; the shared path nils them in
+	// freeFrameShared, which spawnSerial's w==nil contract relies on). A
+	// pooled frame thus pins its last worker, which lives as long as the
+	// runtime, and the slab pool is GC-cleared, so nothing truly leaks.
+	c := &f.ctx
+	if c.views != nil || c.ckey != nil {
+		c.views = nil
+		c.ckey, c.cview = nil, nil
+	}
+	c.strandStart, c.spanLocal = 0, 0
 }
 
-// newRangeTask allocates a fresh (never pooled — see freeTask) range task
-// covering loop iterations [lo, hi).
-func newRangeTask(ls *loopState, lo, hi int) *task {
-	return &task{loop: ls, lo: lo, hi: hi}
-}
-
-func newFrame(parent *frame, rs *runState, ordinal, depth int32) *frame {
+// newFrameShared allocates a frame on the shared (worker-less) path.
+func newFrameShared(parent *frame, rs *runState, ordinal, depth int32) *frame {
 	f := framePool.Get().(*frame)
 	f.parent, f.run = parent, rs
 	f.ordinal, f.depth = ordinal, depth
 	return f
 }
 
-// freeFrame resets every field a previous life could have set before
-// returning the frame to the pool. pending is zero at retirement (the frame
-// joined), but a skipped frame may carry stale bookkeeping, so reset
-// explicitly.
-func freeFrame(f *frame) {
-	f.parent, f.run = nil, nil
-	f.pending.Store(0)
-	f.ordinal, f.nextOrdinal, f.depth = 0, 0, 0
-	f.sealed, f.childViews = nil, nil
-	f.pieces, f.nextLoopSeq = nil, 0
-	f.spawnSpan = 0
-	f.spanChild.Store(0)
+// freeFrameShared retires a frame on the shared path. Unlike the worker
+// freelists, the shared pool nils ctx.w/ctx.rt: spawnSerial hands out the
+// embedded Context without rebinding w and relies on w == nil meaning
+// serial elision.
+func freeFrameShared(f *frame) {
+	resetFrame(f)
+	f.ctx.w, f.ctx.rt = nil, nil
 	framePool.Put(f)
+}
+
+// getFrame pops a frame off w's freelist — the spawn fast path: a length
+// check, a slice shrink, four stores — refilling a batch from the backstop
+// when the list runs dry.
+func (w *worker) getFrame(parent *frame, rs *runState, ordinal, depth int32) *frame {
+	var f *frame
+	if n := len(w.frameFree); n > 0 {
+		f = w.frameFree[n-1]
+		w.frameFree[n-1] = nil
+		w.frameFree = w.frameFree[:n-1]
+	} else {
+		f = w.refillFrames()
+	}
+	f.parent, f.run = parent, rs
+	f.ordinal, f.depth = ordinal, depth
+	return f
+}
+
+// putFrame resets f and returns it to w's freelist, spilling one batch to
+// the backstop when the list is full.
+func (w *worker) putFrame(f *frame) {
+	resetFrame(f)
+	if len(w.frameFree) >= frameLocalCap {
+		w.spillFrames()
+	}
+	w.frameFree = append(w.frameFree, f)
+}
+
+// refillFrames restocks a dry freelist: a whole batch from the backstop
+// when one is available, else a freshly carved contiguous slab — one
+// allocation amortized over frameBatchSize spawns, and frames that retire
+// together stay cache-adjacent. Returns one frame for the caller; the rest
+// land on the freelist.
+func (w *worker) refillFrames() *frame {
+	if s, _ := slabPool.Get().(*frameSlab); s != nil {
+		bump(&w.ws.poolRefills)
+		w.frameFree = append(w.frameFree[:0], s.fr[:frameBatchSize-1]...)
+		f := s.fr[frameBatchSize-1]
+		s.fr = [frameBatchSize]*frame{} // drop the refs; the box itself is reused
+		if w.slabCache == nil {
+			w.slabCache = s
+		} else {
+			boxPool.Put(s)
+		}
+		return f
+	}
+	block := make([]frame, frameBatchSize)
+	w.frameFree = w.frameFree[:0]
+	for i := range block[:frameBatchSize-1] {
+		w.frameFree = append(w.frameFree, initFrame(&block[i]))
+	}
+	return initFrame(&block[frameBatchSize-1])
+}
+
+// spillFrames moves the newest frameBatchSize frames of w's freelist into
+// the backstop, reusing the worker's cached slab box so a steady-state
+// spill/refill cycle allocates nothing.
+func (w *worker) spillFrames() {
+	s := w.slabCache
+	w.slabCache = nil
+	if s == nil {
+		if s, _ = boxPool.Get().(*frameSlab); s == nil {
+			s = new(frameSlab)
+		}
+	}
+	lo := len(w.frameFree) - frameBatchSize
+	copy(s.fr[:], w.frameFree[lo:])
+	for i := lo; i < len(w.frameFree); i++ {
+		w.frameFree[i] = nil
+	}
+	w.frameFree = w.frameFree[:lo]
+	slabPool.Put(s)
+	bump(&w.ws.poolSpills)
+}
+
+// freeRangeTask retires a consumed range task. Range tasks are never
+// pooled: the peel protocol recognizes a re-published remainder by
+// comparing task pointers, so recycling a finished range task could alias a
+// pointer a peeling worker still compares against. Dropping the loop
+// reference (so the loopState can collect promptly) is all the recycling
+// they get; range tasks are rare — O(splits), not O(n/grain) — so the
+// allocation is noise.
+func freeRangeTask(t *task) {
+	t.loop = nil
+}
+
+// newRangeTask allocates a fresh (never pooled — see freeRangeTask) range
+// task covering loop iterations [lo, hi).
+func newRangeTask(ls *loopState, lo, hi int) *task {
+	return &task{loop: ls, lo: lo, hi: hi}
 }

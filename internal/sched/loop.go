@@ -112,7 +112,7 @@ func (c *Context) LoopRange(lo, hi, grain int, body func(c *Context, lo, hi int)
 	var held bool
 	if c.w.peel(t, c, &held) {
 		c.rt.sanJoin(f.pending.Add(-1), "an owner-consumed range task", f.run)
-		freeTask(t)
+		freeRangeTask(t)
 	}
 }
 
@@ -147,8 +147,12 @@ func (w *worker) peel(t *task, ctx *Context, held *bool) bool {
 		// bounds to any thief — then make it stealable.
 		t.lo = end
 		*held = false
-		w.deque.PushBottom(t)
-		w.rt.wake()
+		// Like Spawn's push, wake only on the empty→non-empty transition:
+		// a remainder republished behind other visible work cannot strand a
+		// parker (stealableWork's re-check), and the drop is benign anyway.
+		if w.deque.PushBottom(t) {
+			w.rt.wake()
+		}
 		// Sanitizer: stretch the window in which the republished remainder
 		// is exposed to thieves while this strand runs the peeled chunk.
 		w.san.Delay(schedsan.PointChunkPeel)
@@ -172,9 +176,9 @@ func (w *worker) peel(t *task, ctx *Context, held *bool) bool {
 
 // runChunk executes one grain of a lazy loop's iterations on ctx's strand.
 func (w *worker) runChunk(ctx *Context, ls *loopState, lo, hi int) {
-	w.ws.chunksPeeled.Add(1)
+	bump(&w.ws.chunksPeeled)
 	if s := ls.frame.run.stats; s != nil {
-		s.chunksPeeled.Add(1)
+		bump(&s.cells[w.id].chunksPeeled)
 	}
 	w.rec.ChunkRun(int32(hi-lo), ls.frame.run.id)
 	ls.body(ctx, lo, hi)
@@ -189,10 +193,10 @@ func (w *worker) runChunk(ctx *Context, ls *loopState, lo, hi int) {
 // remainder publish.
 func (w *worker) splitRange(t *task, victim *worker) {
 	ls := t.loop
-	w.ws.rangeSteals.Add(1)
+	bump(&w.ws.rangeSteals)
 	rs := ls.frame.run
 	if s := rs.stats; s != nil {
-		s.rangeSteals.Add(1)
+		bump(&s.cells[w.id].rangeSteals)
 	}
 	if t.hi-t.lo <= ls.grain || rs.cancelled() {
 		return
@@ -204,9 +208,9 @@ func (w *worker) splitRange(t *task, victim *worker) {
 	ls.frame.pending.Add(1) // the new half is one more piece to join
 	nt := newRangeTask(ls, mid, t.hi)
 	t.hi = mid
-	w.ws.loopSplits.Add(1)
+	bump(&w.ws.loopSplits)
 	if s := rs.stats; s != nil {
-		s.loopSplits.Add(1)
+		bump(&s.cells[w.id].loopSplits)
 	}
 	w.rec.LoopSplit(int32(nt.hi-nt.lo), rs.id)
 	if origin := ls.origin; origin >= 0 && len(w.rt.domains) > 1 {
@@ -226,13 +230,14 @@ func (w *worker) splitRange(t *task, victim *worker) {
 		// exactly the flat-runtime behaviour).
 		od := w.rt.workers[origin].domain
 		if victim.domain != w.domain && od != w.domain && !w.san.Fail(schedsan.PointAffinity) {
-			w.ws.affinityReinjected.Add(1)
+			bump(&w.ws.affinityReinjected)
 			w.rt.affinityPush(nt, od)
 			return
 		}
 	}
-	w.deque.PushBottom(nt)
-	w.rt.wake()
+	if w.deque.PushBottom(nt) {
+		w.rt.wake()
+	}
 }
 
 // runPiece executes a scheduled range task — one popped from a deque or
@@ -247,13 +252,13 @@ func (w *worker) runPiece(t *task) {
 	rs := lf.run
 	depth := lf.depth + 1
 	if rs.cancelled() {
-		w.ws.tasksSkipped.Add(1)
+		bump(&w.ws.tasksSkipped)
 		if s := rs.stats; s != nil {
-			s.tasksSkipped.Add(1)
+			bump(&s.cells[w.id].tasksSkipped)
 		}
 		w.rec.TaskSkip(depth, rs.id)
 		w.rt.sanJoin(lf.pending.Add(-1), "a skipped range task", rs)
-		freeTask(t)
+		freeRangeTask(t)
 		return
 	}
 	start := t.lo
@@ -265,18 +270,24 @@ func (w *worker) runPiece(t *task) {
 	// (The owner-inline peel in LoopRange needs none: the owning strand calls
 	// the loop's Sync itself, strictly after its peel returns.)
 	lf.pending.Add(1)
-	w.ws.tasksRun.Add(1)
-	maxStore(&w.ws.maxLiveFrames, w.ws.liveFrames.Add(1))
-	maxStore(&w.ws.maxDepth, int64(depth))
+	bump(&w.ws.tasksRun)
+	live := w.ws.liveFrames.Load() + 1
+	w.ws.liveFrames.Store(live)
+	maxOwn(&w.ws.maxLiveFrames, live)
+	maxOwn(&w.ws.maxDepth, int64(depth))
 	if s := rs.stats; s != nil {
-		s.tasksRun.Add(1)
-		maxStore(&s.maxLiveFrames, s.liveFrames.Add(1))
-		maxStore(&s.maxDepth, int64(depth))
+		cell := &s.cells[w.id]
+		bump(&cell.tasksRun)
+		cl := cell.liveFrames.Load() + 1
+		cell.liveFrames.Store(cl)
+		maxOwn(&cell.maxLiveFrames, cl)
+		maxOwn(&cell.maxDepth, int64(depth))
 	}
 	w.rec.TaskStart(depth, rs.id)
 
-	pf := newFrame(lf, rs, 0, depth)
-	ctx := &Context{w: w, rt: w.rt, frame: pf}
+	pf := w.getFrame(lf, rs, 0, depth)
+	ctx := &pf.ctx
+	ctx.w, ctx.rt = w, w.rt
 	cl := rs.clock
 	if cl != nil {
 		ctx.strandStart = w.rt.nanots()
@@ -313,13 +324,13 @@ func (w *worker) runPiece(t *task) {
 	lf.depositPiece(ls.seq, start, ctx.views)
 	if consumed {
 		w.rt.sanJoin(lf.pending.Add(-1), "a consumed range task", rs)
-		freeTask(t)
+		freeRangeTask(t)
 	}
 	w.rt.sanJoin(lf.pending.Add(-1), "an episode unit", rs) // release the episode unit
 	w.recycleFrame(pf)
-	w.ws.liveFrames.Add(-1)
+	bumpN(&w.ws.liveFrames, -1)
 	if s := rs.stats; s != nil {
-		s.liveFrames.Add(-1)
+		bumpN(&s.cells[w.id].liveFrames, -1)
 	}
 	w.rec.TaskEnd()
 }

@@ -161,7 +161,10 @@ func (c *Context) foldSpanChildren() {
 
 // depositSpan publishes this frame's completed span to its parent (or, for
 // the root, to the run's clock): the frame's spawn-point span plus
-// everything accumulated along and under it.
+// everything accumulated along and under it. The parent gauge keeps the
+// CAS-loop maxStore — unlike the sharded stats cells (single-writer
+// load+store, see stats.go), spanChild genuinely has concurrent writers:
+// siblings completing on different workers deposit into the same parent.
 func (c *Context) depositSpan(cl *runClock) {
 	f := c.frame
 	total := f.spawnSpan + c.spanLocal

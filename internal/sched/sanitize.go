@@ -201,22 +201,15 @@ func (rt *Runtime) sanViolation(format string, args ...any) {
 	panic(rep.String())
 }
 
-// recycleTask returns t to the pool unless a PointRecycle fault leaks it to
-// the garbage collector instead — legal, and it flushes any stale-reuse
-// assumption the pooled fast path might hide.
-func (w *worker) recycleTask(t *task) {
-	if w.san.Fail(schedsan.PointRecycle) {
-		return
-	}
-	freeTask(t)
-}
-
-// recycleFrame is recycleTask for frames.
+// recycleFrame returns f to the worker's freelist unless a PointRecycle
+// fault leaks it to the garbage collector instead — legal, and it flushes
+// any stale-reuse assumption the recycled fast path might hide. (Tasks ride
+// embedded in their frames, so this is the task fault point too.)
 func (w *worker) recycleFrame(f *frame) {
 	if w.san.Fail(schedsan.PointRecycle) {
 		return
 	}
-	freeFrame(f)
+	w.putFrame(f)
 }
 
 // sanJoin checks a join-counter decrement result: the counter counts
@@ -242,14 +235,20 @@ func (rt *Runtime) sanRunQuiescence(rs *runState) {
 		return
 	}
 	deadline := time.Now().Add(200 * time.Millisecond)
-	for s.liveFrames.Load() != 0 {
+	for s.liveFrameSum() != 0 {
 		if !time.Now().Before(deadline) {
-			rt.sanViolation("run %d: %d frames still live after completion", rs.id, s.liveFrames.Load())
+			rt.sanViolation("run %d: %d frames still live after completion", rs.id, s.liveFrameSum())
 			return
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
-	spawns, run, skipped := s.spawns.Load(), s.tasksRun.Load(), s.tasksSkipped.Load()
+	var spawns, run, skipped int64
+	for i := range s.cells {
+		c := &s.cells[i]
+		spawns += c.spawns.Load()
+		run += c.tasksRun.Load()
+		skipped += c.tasksSkipped.Load()
+	}
 	// Loop pieces inflate tasksRun beyond spawns, so only the one-sided
 	// bound holds in general: every spawned task must have run or been
 	// skipped.

@@ -213,10 +213,11 @@ func New(opts ...Option) *Runtime {
 	rt.workers = make([]*worker, cfg.workers)
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
-			rt:    rt,
-			id:    i,
-			deque: deque.New[task](),
-			rng:   rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
+			rt:        rt,
+			id:        i,
+			deque:     deque.New[task](),
+			rng:       rand.New(rand.NewSource(cfg.stealSeed + int64(i)*0x9e3779b9)),
+			frameFree: make([]*frame, 0, frameLocalCap),
 		}
 		if rt.tracer != nil {
 			rt.workers[i].rec = rt.tracer.Recorder(i)
@@ -318,7 +319,18 @@ func (rt *Runtime) runSerial(fn func(*Context), rs *runState) (err error) {
 		}
 	}()
 	if s := rs.stats; s != nil {
-		maxStore(&s.maxLiveFrames, 1) // the root frame itself
+		// Publish the strand-local counters spawnSerial tracked (see
+		// runState) into cell 0 exactly once, on every exit path — the
+		// deferred publish runs before submit's snapshot. The +1 on the
+		// live-frame watermark is the root frame itself, so a spawn-free
+		// run still reports 1.
+		defer func() {
+			c0 := &s.cells[0]
+			c0.spawns.Store(rs.serialSpawns)
+			c0.tasksRun.Store(rs.serialSpawns)
+			c0.maxDepth.Store(rs.serialMaxDepth)
+			c0.maxLiveFrames.Store(rs.serialMaxDepth + 1)
+		}()
 	}
 	if h := rt.cfg.hooks; h != nil {
 		h.FrameStart()
@@ -415,6 +427,12 @@ type worker struct {
 	// successful steal resets it. Only the worker's own goroutine touches
 	// it. Unused (always 0) on a flat runtime.
 	localFails int
+	// Frame recycling (see frame.go): the worker-private freelist — the
+	// spawn path's allocator, touched by no other goroutine — and the
+	// cached spill box that lets steady-state spill/refill cycles move
+	// batches to and from the global backstop without allocating.
+	frameFree []*frame
+	slabCache *frameSlab
 
 	// Sanitizer fields (see sanitize.go). san is the worker's fault-
 	// injection lane, nil without WithSanitize. watch gates the state word:
@@ -581,16 +599,16 @@ func (w *worker) stealOnce() *task {
 		w.localFails++
 		if w.localFails <= localSweepRetries {
 			// Hysteresis: stay local for a few sweeps before going remote.
-			w.ws.failedSweeps.Add(1)
+			bump(&w.ws.failedSweeps)
 			return nil
 		}
 		if w.san.Fail(schedsan.PointDomainEscalate) {
 			// Injected skipped escalation (legal: just a failed sweep; a
 			// later sweep escalates).
-			w.ws.failedSweeps.Add(1)
+			bump(&w.ws.failedSweeps)
 			return nil
 		}
-		w.ws.domainEscalations.Add(1)
+		bump(&w.ws.domainEscalations)
 		w.rec.DomainEscalate(int32(w.domain))
 		start := w.rng.Intn(nd)
 		for i := 0; i < nd; i++ {
@@ -608,7 +626,7 @@ func (w *worker) stealOnce() *task {
 			return t
 		}
 	}
-	w.ws.failedSweeps.Add(1)
+	bump(&w.ws.failedSweeps)
 	return nil
 }
 
@@ -619,7 +637,7 @@ func (w *worker) stealOnce() *task {
 // recorded per successful operation, batched or not, so trace event counts
 // and the Steals counter agree.
 func (w *worker) stealFrom(victim *worker) *task {
-	w.ws.stealAttempts.Add(1)
+	bump(&w.ws.stealAttempts)
 	w.rec.StealAttempt(int32(victim.id))
 	t, moved := victim.deque.StealBatch(w.deque)
 	if t == nil {
@@ -627,11 +645,11 @@ func (w *worker) stealFrom(victim *worker) *task {
 			return nil
 		}
 	}
-	w.ws.steals.Add(1)
+	bump(&w.ws.steals)
 	if victim.domain == w.domain {
-		w.ws.localSteals.Add(1)
+		bump(&w.ws.localSteals)
 	} else {
-		w.ws.remoteSteals.Add(1)
+		bump(&w.ws.remoteSteals)
 	}
 	if h := w.rt.obsH; h != nil && w.hunting {
 		// Hunt-to-steal latency: how long this worker went without work
@@ -644,12 +662,12 @@ func (w *worker) stealFrom(victim *worker) *task {
 		rf = t.loop.frame
 	}
 	if s := rf.run.stats; s != nil {
-		s.steals.Add(1)
+		bump(&s.cells[w.id].steals)
 	}
 	w.rec.StealSuccess(int32(victim.id))
 	if moved > 0 {
-		w.ws.stealBatches.Add(1)
-		w.ws.tasksStolenBatched.Add(int64(moved))
+		bump(&w.ws.stealBatches)
+		bumpN(&w.ws.tasksStolenBatched, int64(moved))
 		w.rec.StealBatch(int32(moved))
 		// The extras are stealable work sitting in our deque now; offer a
 		// parked worker the chance to come share it. Locality note: a
@@ -789,27 +807,40 @@ func (w *worker) runTask(t *task) {
 		return
 	}
 	fn, f := t.fn, t.frame
-	w.recycleTask(t)
+	// The task is fused into its frame (frame.t) and recycles with it at the
+	// bottom of this function; dropping the closure reference here is the
+	// only per-task cleanup left.
+	t.fn = nil
 	rs := f.run
 	if rs.cancelled() {
 		w.skipFrame(f)
 		return
 	}
-	if f.parent != nil {
-		w.ws.tasksRun.Add(1)
+	root := f.parent == nil
+	if !root {
+		bump(&w.ws.tasksRun)
 	}
-	maxStore(&w.ws.maxLiveFrames, w.ws.liveFrames.Add(1))
-	maxStore(&w.ws.maxDepth, int64(f.depth))
+	live := w.ws.liveFrames.Load() + 1
+	w.ws.liveFrames.Store(live)
+	maxOwn(&w.ws.maxLiveFrames, live)
+	maxOwn(&w.ws.maxDepth, int64(f.depth))
 	if s := rs.stats; s != nil {
-		if f.parent != nil {
-			s.tasksRun.Add(1)
+		cell := &s.cells[w.id]
+		if !root {
+			bump(&cell.tasksRun)
 		}
-		maxStore(&s.maxLiveFrames, s.liveFrames.Add(1))
-		maxStore(&s.maxDepth, int64(f.depth))
+		cl := cell.liveFrames.Load() + 1
+		cell.liveFrames.Store(cl)
+		maxOwn(&cell.maxLiveFrames, cl)
+		maxOwn(&cell.maxDepth, int64(f.depth))
 	}
 	w.rec.TaskStart(f.depth, rs.id)
 
-	ctx := &Context{w: w, rt: w.rt, frame: f}
+	// The Context is fused into the frame too: running a task allocates
+	// nothing. Only w and rt need (re)binding — the frame link is a
+	// self-link preserved across pool lives, and resetFrame zeroed the rest.
+	ctx := &f.ctx
+	ctx.w, ctx.rt = w, w.rt
 	cl := rs.clock
 	if cl != nil {
 		ctx.strandStart = w.rt.nanots()
@@ -846,14 +877,14 @@ func (w *worker) runTask(t *task) {
 		rs.finish()
 	}
 	// The frame is fully joined: its children have deposited and its parent
-	// has been signalled, so nothing references it any more and it can be
-	// recycled. The task was recycled on entry — safe because ring slots no
-	// longer retain stale pointers, so no thief can observe either object
-	// after this point.
+	// has been signalled, so nothing references it any more and it — with
+	// its embedded task and Context — can be recycled. Safe because ring
+	// slots no longer retain stale pointers, so no thief can observe the
+	// frame through the deque after this point.
 	w.recycleFrame(f)
-	w.ws.liveFrames.Add(-1)
+	bumpN(&w.ws.liveFrames, -1)
 	if s := rs.stats; s != nil {
-		s.liveFrames.Add(-1)
+		bumpN(&s.cells[w.id].liveFrames, -1)
 	}
 	w.rec.TaskEnd()
 }
@@ -867,9 +898,9 @@ func (w *worker) runTask(t *task) {
 // skipped frame never ran, so it has no children of its own).
 func (w *worker) skipFrame(f *frame) {
 	rs := f.run
-	w.ws.tasksSkipped.Add(1)
+	bump(&w.ws.tasksSkipped)
 	if s := rs.stats; s != nil {
-		s.tasksSkipped.Add(1)
+		bump(&s.cells[w.id].tasksSkipped)
 	}
 	w.rec.TaskSkip(f.depth, rs.id)
 	if p := f.parent; p != nil {

@@ -29,12 +29,38 @@ type workerStats struct {
 	remoteSteals       atomic.Int64
 	domainEscalations  atomic.Int64
 	affinityReinjected atomic.Int64
+	poolRefills        atomic.Int64
+	poolSpills         atomic.Int64
+}
+
+// bump adds 1 to a single-writer atomic counter with a plain load and
+// store. Correct only because every workerStats/runCell field has exactly
+// one writing goroutine (the owning worker, or the serial strand); readers
+// still get tear-free values through the atomics. On the spawn fast path
+// this replaces a LOCK'd read-modify-write per counter with two ordinary
+// memory operations on a line the owner already holds.
+func bump(c *atomic.Int64) {
+	c.Store(c.Load() + 1)
+}
+
+// bumpN is bump for increments larger than one.
+func bumpN(c *atomic.Int64, n int64) {
+	c.Store(c.Load() + n)
+}
+
+// maxOwn raises the single-writer max-gauge m to v — bump's analogue of
+// maxStore, with the same single-writer contract.
+func maxOwn(m *atomic.Int64, v int64) {
+	if v > m.Load() {
+		m.Store(v)
+	}
 }
 
 // maxStore raises the max-gauge m to v. The CAS loop makes it correct under
-// concurrent writers: per-run counters (runCounters) are updated by every
-// worker that executes the computation's tasks, so a plain load-then-store
-// could regress the gauge when two workers race.
+// concurrent writers: the span gauges (frame.spanChild) are deposited by
+// whichever workers complete the frame's children, so a plain
+// load-then-store could regress the gauge when two workers race. Counters
+// with a single writing goroutine use maxOwn instead.
 func maxStore(m *atomic.Int64, v int64) {
 	for {
 		old := m.Load()
@@ -109,6 +135,16 @@ type Stats struct {
 	RemoteSteals       int64
 	DomainEscalations  int64
 	AffinityReinjected int64
+	// Frame-recycler counters (see frame.go). PoolSpills counts batches of
+	// frameBatchSize frames a worker's full freelist handed to the global
+	// backstop; PoolRefills counts batches a dry freelist took back. Both
+	// are rare by design — a spawn/sync region that fits in the local cap
+	// recycles frames with no global traffic at all — so a spike flags a
+	// workload whose producers and consumers are different workers (steal-
+	// heavy, or deep unbalanced trees). Zero in RunWithStats results:
+	// recycling is a property of the worker, not of one computation.
+	PoolRefills int64
+	PoolSpills  int64
 	// Stalls counts no-global-progress windows detected by the sanitizer's
 	// stall watchdog (see schedsan.Options.StallAfter). Always zero on a
 	// runtime built without WithSanitize or without a watchdog threshold.
@@ -144,6 +180,8 @@ func (rt *Runtime) Stats() Stats {
 		s.RemoteSteals += w.ws.remoteSteals.Load()
 		s.DomainEscalations += w.ws.domainEscalations.Load()
 		s.AffinityReinjected += w.ws.affinityReinjected.Load()
+		s.PoolRefills += w.ws.poolRefills.Load()
+		s.PoolSpills += w.ws.poolSpills.Load()
 		if m := w.ws.maxLiveFrames.Load(); m > s.MaxLiveFrames {
 			s.MaxLiveFrames = m
 		}
@@ -175,6 +213,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.RemoteSteals -= prev.RemoteSteals
 	s.DomainEscalations -= prev.DomainEscalations
 	s.AffinityReinjected -= prev.AffinityReinjected
+	s.PoolRefills -= prev.PoolRefills
+	s.PoolSpills -= prev.PoolSpills
 	s.Stalls -= prev.Stalls
 	s.Work -= prev.Work
 	s.Span -= prev.Span
@@ -208,9 +248,13 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		"remote_steals":       s.RemoteSteals,
 		"domain_escalations":  s.DomainEscalations,
 		"affinity_reinjected": s.AffinityReinjected,
-		"max_live_frames":     s.MaxLiveFrames,
-		"max_depth":           s.MaxDepth,
-		"runs_submitted":      rt.runIDs.Load(),
+		// Frame-recycler traffic (frame.go): batches spilled to / refilled
+		// from the global backstop by the per-worker freelists.
+		"pool_refills":    s.PoolRefills,
+		"pool_spills":     s.PoolSpills,
+		"max_live_frames": s.MaxLiveFrames,
+		"max_depth":       s.MaxDepth,
+		"runs_submitted":  rt.runIDs.Load(),
 		// Robustness-layer counters: runs abandoned by cancellation (any
 		// cause) and panics quarantined across all runs.
 		"runs_canceled":      rt.runsCanceled.Load(),

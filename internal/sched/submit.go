@@ -221,7 +221,9 @@ func (rt *Runtime) submit(ctx context.Context, fn func(*Context), sc submitCfg) 
 	if sc.track || obs != nil {
 		// Observation implies per-run accounting: the observer's report
 		// carries the run's Stats (spawns, steals, …) alongside work/span.
-		rs.stats = &runCounters{}
+		// One cell per worker keeps the hot counters uncontended; the cells
+		// are summed at quiescence and on snapshot reads.
+		rs.stats = newRunCounters(len(rt.workers))
 	}
 	if obs != nil {
 		rs.clock = &runClock{}
@@ -258,8 +260,12 @@ func (rt *Runtime) submit(ctx context.Context, fn func(*Context), sc submitCfg) 
 		return tk, nil
 	}
 
-	root := newFrame(nil, rs, 0, 0)
-	t := newTask(fn, root)
+	// The root task rides inside its frame like any spawned child: one shared
+	// allocation (Submit is off the spawn fast path, so the per-worker
+	// freelists are not used here).
+	root := newFrameShared(nil, rs, 0, 0)
+	root.t.fn = fn
+	t := &root.t
 	rs.enqNs = rt.nanots()
 	// Install the context watcher (and fold in the time-budget cancel)
 	// before the root becomes visible to workers: rs.stop must be set before
@@ -284,8 +290,7 @@ func (rt *Runtime) submit(ctx context.Context, fn func(*Context), sc submitCfg) 
 	if rt.closed {
 		rt.mu.Unlock()
 		rs.release()
-		freeTask(t)
-		freeFrame(root)
+		freeFrameShared(root)
 		if obs != nil {
 			obs.RunEnd(rt.report(rs, Stats{}, ErrShutdown))
 		}

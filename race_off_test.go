@@ -1,0 +1,7 @@
+//go:build !race
+
+package cilkgo_test
+
+// raceEnabled reports whether this test binary was built with -race; the
+// allocation gates skip their numeric assertions under the race runtime.
+const raceEnabled = false
