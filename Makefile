@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve bench-local bench-spawn prof-spawn mint-baseline stress-deque fuzz-sched fuzz-sched-long clean
+.PHONY: all build vet test race bench bench-cancel bench-steal bench-pfor bench-san bench-obs bench-serve bench-local bench-spawn bench-mem prof-spawn mint-baseline stress-deque fuzz-sched fuzz-sched-long clean
 
 all: build vet test
 
@@ -129,6 +129,24 @@ bench-spawn:
 			-gateallocs 'BenchmarkSpawnFib=57320,BenchmarkSpawnWideFlat=8' \
 			-ab 'BenchmarkSpawnReducerHeavy=BenchmarkSpawnHyperFree' > BENCH_spawn.json
 
+# Memory-accounting gate: run the M-series benchmarks (fib and matmul through
+# Submit with accounting disarmed, plus their budget-armed twins) alongside
+# the uncancelled C-series runs, into BENCH_mem.json. The -ab pairs gate the
+# disarmed path at 2% against the C-series twin measured in the same process —
+# proving a runtime that never sees WithMemoryBudget pays only nil checks for
+# the enforcement machinery. The budget-armed twins are recorded but not
+# gated (arming is opt-in per run); the committed seed baseline still tracks
+# cross-commit drift for the guarded benchmarks. count=6 with a short
+# benchtime (vs 3 full-length elsewhere): the A/B compares minima, and the
+# paired benchmarks run ~20s apart in the process, so frequency drift across
+# few long samples flakes a 2% gate where many short samples hold it.
+bench-mem:
+	$(GO) test -run '^$$' -bench 'BenchmarkMem|BenchmarkCancelFibUncancelled|BenchmarkCancelMatmulUncancelled' -benchmem -benchtime 0.5s -count=6 . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -baseline bench_seed_baseline.json \
+			-ab 'BenchmarkMemFibNoBudget=BenchmarkCancelFibUncancelled,BenchmarkMemMatmulNoBudget=BenchmarkCancelMatmulUncancelled' \
+			-maxab 2 > BENCH_mem.json
+
 # Spawn fast-path profiles: CPU and allocation pprof captures of the
 # spawn-dense fib shape, for digging into a bench-spawn regression.
 prof-spawn:
@@ -171,4 +189,4 @@ fuzz-sched-long:
 	$(GO) run ./cmd/schedfuzz -trials 20000 -seed $(FUZZ_SEED) -stall 5s
 
 clean:
-	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json BENCH_serve.json BENCH_local.json trace.json
+	rm -f BENCH_trace.json BENCH_cancel.json BENCH_steal.json BENCH_pfor.json BENCH_san.json BENCH_obs.json BENCH_serve.json BENCH_local.json BENCH_mem.json trace.json

@@ -208,7 +208,8 @@ type (
 	// weighted-fair rate its root is picked up at under backlog.
 	QoSClass = sched.QoSClass
 	// AdmissionConfig arms admission control (WithAdmission): global
-	// queue/run/memory limits plus per-tenant Quotas.
+	// queue/run/memory limits, soft/hard memory watermarks for pressure
+	// shedding, plus per-tenant Quotas.
 	AdmissionConfig = sched.AdmissionConfig
 	// Quota bounds one tenant's queued roots, in-flight runs, and declared
 	// memory.
@@ -234,6 +235,11 @@ var (
 	ErrAdmission = sched.ErrAdmission
 	// ErrQuota reports the submitting tenant is over its own quota.
 	ErrQuota = sched.ErrQuota
+	// ErrMemoryBudget is a Ticket.Wait sentinel: the run's accounted live
+	// memory (activation frames plus Context.Charge declarations) exceeded
+	// its WithMemoryBudget, or the runtime shed it above a hard memory
+	// watermark; the computation was cancelled skip-but-join.
+	ErrMemoryBudget = sched.ErrMemoryBudget
 )
 
 // ParseQoS maps a class name ("interactive", "batch", "best-effort") to its
@@ -259,9 +265,20 @@ func WithPriority(p int) RunOption { return sched.WithPriority(p) }
 // past it the Ticket reports ErrDeadlineExceeded.
 func WithTimeBudget(d time.Duration) RunOption { return sched.WithTimeBudget(d) }
 
-// WithMemoryBudget declares the run's estimated peak memory use, charged
-// against admission MaxMemory limits for the run's lifetime.
+// WithMemoryBudget declares the run's estimated peak memory use — charged
+// against admission MaxMemory limits for the run's lifetime — and enforces
+// it: the runtime accounts the run's live activation frames plus its
+// Context.Charge/Refund declarations, and a run whose live bytes exceed the
+// budget is cancelled with ErrMemoryBudget at the next spawn, task-start, or
+// loop-chunk boundary. Ticket.Stats reports the run's MemLiveBytes and
+// MemPeakBytes.
 func WithMemoryBudget(bytes int64) RunOption { return sched.WithMemoryBudget(bytes) }
+
+// MemReport is Runtime.MemReport's snapshot of the memory-pressure picture:
+// live accounted bytes against the soft/hard watermarks, enforcement
+// counters, and per-tenant in-flight charges and peak EWMAs. Served as JSON
+// on DebugHandler's /debug/cilk/mem.
+type MemReport = sched.MemReport
 
 // WithAdmission arms admission control: Submit rejects with ErrAdmission /
 // ErrQuota instead of queueing unboundedly.
@@ -306,9 +323,10 @@ func WithObserver(o *Observer) Option { return sched.WithRunObserver(o) }
 // metrics on /metrics, live and recent runs with online scalability
 // estimates on /debug/cilk/runs, a Cilkview parallelism profile on
 // /debug/cilk/profile, capture-on-demand Chrome traces on /debug/cilk/trace
-// (requires WithTracing), and the sanitizer's stall findings on
-// /debug/cilk/stalls. Mount it on any mux; run-level endpoints require
-// WithObserver.
+// (requires WithTracing), the sanitizer's stall findings on
+// /debug/cilk/stalls, the serving load report on /debug/cilk/load, and the
+// memory report (live bytes, watermarks, tenant EWMAs) on /debug/cilk/mem.
+// Mount it on any mux; run-level endpoints require WithObserver.
 func DebugHandler(rt *Runtime) http.Handler { return obs.Handler(rt) }
 
 // For executes body(ctx, i) for every i in [lo, hi) as a cilk_for loop:

@@ -43,7 +43,7 @@ var (
 	baseURL = flag.String("url", "http://127.0.0.1:8080", "base URL of the serve instance")
 	path    = flag.String("path", "/sinsum?n=20000", "request path (with workload query)")
 	tenants = flag.String("tenants", "pro:interactive:50,free:best-effort:100",
-		"comma-separated tenant:class:rate_rps[:path] load specs; class is the class the server maps the tenant to (interactive/batch/best-effort) and decides whether -sweep multiplies the rate; the optional path overrides -path for that tenant")
+		"comma-separated tenant:class:rate_rps[:path[:mem]] load specs; class is the class the server maps the tenant to (interactive/batch/best-effort) and decides whether -sweep multiplies the rate; the optional path overrides -path for that tenant (empty keeps the default); the optional mem declares an enforced per-request memory budget in bytes, sent as X-Cilk-Mem-Budget")
 	sweep      = flag.String("sweep", "1,2,5,10", "comma-separated best-effort rate multipliers, one sweep step each")
 	dur        = flag.Duration("dur", 3*time.Second, "duration of each sweep step")
 	settle     = flag.Duration("settle", 300*time.Millisecond, "pause between sweep steps (lets queues drain)")
@@ -59,14 +59,15 @@ type tenantSpec struct {
 	Class  string
 	Rate   float64 // base arrivals per second
 	Path   string  // per-tenant path override ("" = use -path)
+	Mem    int64   // per-request memory budget in bytes (0 = none)
 }
 
 func parseTenants(spec string) ([]tenantSpec, error) {
 	var specs []tenantSpec
 	for _, part := range strings.Split(spec, ",") {
-		fields := strings.SplitN(strings.TrimSpace(part), ":", 4)
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 5)
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("bad tenant spec %q (want tenant:class:rate[:path])", part)
+			return nil, fmt.Errorf("bad tenant spec %q (want tenant:class:rate[:path[:mem]])", part)
 		}
 		rate, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil || rate <= 0 {
@@ -78,8 +79,15 @@ func parseTenants(spec string) ([]tenantSpec, error) {
 			return nil, fmt.Errorf("unknown class %q in %q", fields[1], part)
 		}
 		ts := tenantSpec{Tenant: fields[0], Class: fields[1], Rate: rate}
-		if len(fields) == 4 {
+		if len(fields) >= 4 {
 			ts.Path = fields[3]
+		}
+		if len(fields) == 5 {
+			mem, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil || mem < 1 {
+				return nil, fmt.Errorf("bad memory budget in %q (want bytes)", part)
+			}
+			ts.Mem = mem
 		}
 		specs = append(specs, ts)
 	}
@@ -195,7 +203,7 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 // fire launches one tenant's open-loop Poisson arrivals for one step and
 // blocks until the step window closes and every in-flight request returned.
-func fire(client *http.Client, url, tenant string, rate float64, stepDur time.Duration, rng *rand.Rand, col *collector) {
+func fire(client *http.Client, url, tenant string, mem int64, rate float64, stepDur time.Duration, rng *rand.Rand, col *collector) {
 	var wg sync.WaitGroup
 	end := time.Now().Add(stepDur)
 	next := time.Now()
@@ -222,6 +230,9 @@ func fire(client *http.Client, url, tenant string, rate float64, stepDur time.Du
 			}
 			if tenant != "" {
 				req.Header.Set("X-Tenant", tenant)
+			}
+			if mem > 0 {
+				req.Header.Set("X-Cilk-Mem-Budget", strconv.FormatInt(mem, 10))
 			}
 			start := time.Now()
 			resp, err := client.Do(req)
@@ -281,7 +292,7 @@ func main() {
 			wg.Add(1)
 			go func(url string, sp tenantSpec, rate float64, col *collector, rng *rand.Rand) {
 				defer wg.Done()
-				fire(client, url, sp.Tenant, rate, *dur, rng, col)
+				fire(client, url, sp.Tenant, sp.Mem, rate, *dur, rng, col)
 			}(url, sp, rate, cols[i], rng)
 		}
 		wg.Wait()

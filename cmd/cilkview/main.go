@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cilkgo/internal/cilkmem"
 	"cilkgo/internal/cilkview"
 	"cilkgo/internal/sim"
 	"cilkgo/internal/vprog"
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "qsort", "qsort | fib | matmul | bfs | spmv | treewalk | loopspawn | pfor")
+		workload  = flag.String("workload", "qsort", "qsort | fib | matmul | nqueens | bfs | spmv | treewalk | loopspawn | pfor")
 		n         = flag.Int64("n", 100_000_000, "problem size")
 		grain     = flag.Int64("grain", 2048, "serial grain size")
 		seed      = flag.Int64("seed", 1, "workload and schedule seed")
@@ -32,6 +33,8 @@ func main() {
 		simulate  = flag.Bool("simulate", false, "run the scheduler simulator to add measured speedups")
 		csv       = flag.Bool("csv", false, "emit CSV instead of the table")
 		plot      = flag.Bool("plot", false, "also draw the Fig. 3-style ASCII speedup plot")
+		mem       = flag.Bool("mem", false, "add the Cilkmem memory high-water section")
+		memBytes  = flag.Int64("membytes", 1, "bytes charged per frame activation in -mem (1 = count frames)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 
 	profile := cilkview.FromProgram(prog, *burden)
 	var measured []cilkview.Point
+	simPeaks := map[int]int64{}
 	if *simulate {
 		for _, p := range procs {
 			r, err := sim.Run(prog, sim.Config{Procs: p, StealCost: *stealCost, Seed: *seed})
@@ -56,6 +60,7 @@ func main() {
 				os.Exit(1)
 			}
 			measured = append(measured, cilkview.Point{Procs: p, Speedup: r.Speedup(profile.Work)})
+			simPeaks[p] = r.MaxLiveFrames * *memBytes
 		}
 	}
 	if *csv {
@@ -73,6 +78,48 @@ func main() {
 		fmt.Println()
 		fmt.Print(cilkview.Plot(profile, maxP, measured))
 	}
+	if *mem {
+		fmt.Println()
+		printMem(prog, procs, *memBytes, simPeaks)
+	}
+}
+
+// printMem tabulates the Cilkmem high-water marks: the serial HWM, the
+// exact MHWM_p and the streaming (p+1)-approximation per processor count,
+// and — when -simulate ran — the simulator's measured live-frame peak,
+// which must fall between the serial HWM and the exact bound (a schedule
+// cannot beat serial depth-first reuse, nor exceed the adversarial bound).
+func printMem(prog vprog.Program, procs []int, memBytes int64, simPeaks map[int]int64) {
+	maxP := 0
+	for _, p := range procs {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	r := cilkmem.AnalyzeProgram(prog, maxP, memBytes)
+	unit := "bytes"
+	if memBytes == 1 {
+		unit = "frames"
+	}
+	fmt.Printf("Memory high-water (Cilkmem, %d bytes/frame):\n", memBytes)
+	fmt.Printf("  serial HWM: %d %s\n", r.SerialHWM, unit)
+	fmt.Printf("  %6s %12s %12s", "procs", "exact", "approx")
+	if len(simPeaks) > 0 {
+		fmt.Printf(" %12s %6s", "sim peak", "ok")
+	}
+	fmt.Println()
+	for _, p := range procs {
+		fmt.Printf("  %6d %12d %12d", p, r.ExactAt(p), r.ApproxAt(p))
+		if len(simPeaks) > 0 {
+			peak := simPeaks[p]
+			ok := "yes"
+			if peak < r.SerialHWM || peak > r.ExactAt(p) {
+				ok = "NO"
+			}
+			fmt.Printf(" %12d %6s", peak, ok)
+		}
+		fmt.Println()
+	}
 }
 
 func pickWorkload(name string, n, grain int64, seed uint64) (vprog.Program, error) {
@@ -83,6 +130,8 @@ func pickWorkload(name string, n, grain int64, seed uint64) (vprog.Program, erro
 		return vprog.Fib(int(n)), nil
 	case "matmul":
 		return vprog.MatMul(n, 8), nil
+	case "nqueens":
+		return vprog.NQueens(int(n)), nil
 	case "bfs":
 		return vprog.BFS(n, 8, 24, seed), nil
 	case "spmv":

@@ -1,7 +1,8 @@
 // Command schedfuzz is the schedule fuzzer for the work-stealing runtime:
 // it executes property suites (loop exactly-once, ordered reducer folds,
 // spawn-tree determinism, cancellation at-most-once, drain-never-strands,
-// domain-partitioned determinism) under thousands of seeded fault schedules — forced steal/claim failures,
+// domain-partitioned determinism, memory-accounting non-negativity) under
+// thousands of seeded fault schedules — forced steal/claim failures,
 // stretched race windows, dropped and duplicated wakeups, leaked pool
 // objects — with the runtime invariant checker and stall watchdog armed.
 //
@@ -479,6 +480,44 @@ func properties(rt *sched.Runtime, res *trialResult, seed int64, opts schedsan.O
 		drt.Shutdown() // post-drain checks include the affinity mailboxes
 		if inj := drt.Sanitizer(); inj != nil {
 			res.addFaults(inj.TotalFired())
+		}
+	}
+
+	// Property 7: memory accounting under faults. Budgeted runs whose bodies
+	// charge and refund in matched pairs must settle with a non-negative
+	// per-run live-byte balance — a forced pool leak (PointRecycle) may
+	// strand bytes as a positive residue, but a negative balance is a double
+	// refund. Spurious budget trips (PointMemCharge) are legal and must
+	// surface only as the budget sentinel; everything else is a finding. The
+	// runtime-wide gauge must return to exactly zero once every run settles,
+	// leaks included, because it counts frames by liveness, not by pooling.
+	{
+		const runs = 8
+		for i := 0; i < runs; i++ {
+			tk, err := rt.Submit(context.Background(), func(c *sched.Context) {
+				pfor.ForGrain(c, 0, 512, 4, func(c *sched.Context, j int) {
+					c.Charge(1 << 10)
+					c.Refund(1 << 10)
+				})
+			}, sched.WithMemoryBudget(64<<10))
+			if err != nil {
+				addf("memory property: submit %d rejected: %v", i, err)
+				continue
+			}
+			werr := tk.Wait()
+			if werr != nil && !errors.Is(werr, sched.ErrMemoryBudget) {
+				addf("memory property: run %d failed with non-sentinel error: %v", i, werr)
+			}
+			st := tk.Stats()
+			if st.MemLiveBytes < 0 {
+				addf("memory property: run %d settled with negative live memory %d B", i, st.MemLiveBytes)
+			}
+			if st.MemPeakBytes < 0 {
+				addf("memory property: run %d reports negative peak memory %d B", i, st.MemPeakBytes)
+			}
+		}
+		if live := rt.MemLiveBytes(); live != 0 {
+			addf("memory property: runtime live gauge %d B after every run settled, want 0", live)
 		}
 	}
 }

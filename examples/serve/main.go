@@ -13,6 +13,11 @@
 //   - -maxqueued/-maxactive/-quota arm admission control: a tenant over its
 //     quota gets 429 with Retry-After, a server at capacity sheds with 503 —
 //     both decided at Submit time, before any work is queued;
+//   - -memsoft/-memhard arm the memory watermarks: above the soft watermark
+//     best-effort submissions shed with 503, above the hard one the runtime
+//     cancels the most over-footprint best-effort run; an X-Cilk-Mem-Budget
+//     header (or ?mem= bytes) gives a request an enforced memory budget — a
+//     run that exceeds it is cancelled with ErrMemoryBudget → HTTP 429;
 //   - scheduler counters are published on /debug/vars via
 //     cilkgo.PublishExpvar, and the introspection server (DebugHandler)
 //     serves Prometheus metrics on /metrics — including per-class and
@@ -68,6 +73,8 @@ var (
 	maxQueued = flag.Int("maxqueued", 0, "admission: max roots queued runtime-wide (0 = unlimited)")
 	maxActive = flag.Int("maxactive", 0, "admission: max runs in flight runtime-wide (0 = unlimited)")
 	quotaSpec = flag.String("quota", "", "comma-separated tenant=maxactive quotas, e.g. 'free=16' (empty = no per-tenant quotas)")
+	memSoft   = flag.Int64("memsoft", 0, "admission: soft memory watermark in live bytes — above it best-effort submissions are shed (0 = off)")
+	memHard   = flag.Int64("memhard", 0, "admission: hard memory watermark in live bytes — above it the most over-footprint best-effort run is cancelled (0 = off)")
 	legacy    = flag.Bool("legacyinject", false, "revert to the pre-sharding single-FIFO injection queue (A/B baseline for cmd/cilkload)")
 )
 
@@ -132,11 +139,13 @@ func main() {
 	if *workers > 0 {
 		opts = append(opts, cilkgo.WithWorkers(*workers))
 	}
-	if *maxQueued > 0 || *maxActive > 0 || len(quotas) > 0 {
+	if *maxQueued > 0 || *maxActive > 0 || len(quotas) > 0 || *memSoft > 0 || *memHard > 0 {
 		opts = append(opts, cilkgo.WithAdmission(cilkgo.AdmissionConfig{
-			MaxQueued: *maxQueued,
-			MaxActive: *maxActive,
-			Tenants:   quotas,
+			MaxQueued:           *maxQueued,
+			MaxActive:           *maxActive,
+			Tenants:             quotas,
+			SoftMemoryWatermark: *memSoft,
+			HardMemoryWatermark: *memHard,
 		}))
 	}
 	if *legacy {
@@ -210,10 +219,29 @@ func handle(rt *cilkgo.Runtime, classes map[string]cilkgo.QoSClass, work func(c 
 		if q, ok := classes[tenant]; ok {
 			class = q
 		}
+		// An X-Cilk-Mem-Budget header (or ?mem=, in bytes) declares and
+		// enforces the request's memory budget: admission charges it and the
+		// runtime cancels the run if its accounted live bytes exceed it.
+		memSpec := r.Header.Get("X-Cilk-Mem-Budget")
+		if s := r.URL.Query().Get("mem"); s != "" {
+			memSpec = s
+		}
+		var memBudget int64
+		if memSpec != "" {
+			v, err := strconv.ParseInt(memSpec, 10, 64)
+			if err != nil || v < 1 {
+				http.Error(w, "bad memory budget (want bytes)", http.StatusBadRequest)
+				return
+			}
+			memBudget = v
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), b)
 		defer cancel()
 
 		runOpts := []cilkgo.RunOption{cilkgo.WithTenant(tenant), cilkgo.WithQoS(class)}
+		if memBudget > 0 {
+			runOpts = append(runOpts, cilkgo.WithMemoryBudget(memBudget))
+		}
 		if *statsHeader {
 			runOpts = append(runOpts, cilkgo.WithStats())
 		}
@@ -260,6 +288,13 @@ func handle(rt *cilkgo.Runtime, classes map[string]cilkgo.QoSClass, work func(c 
 		case errors.Is(err, cilkgo.ErrDeadlineExceeded):
 			http.Error(w, fmt.Sprintf("compute budget %v exceeded after %v", b, elapsed),
 				http.StatusGatewayTimeout)
+		case errors.Is(err, cilkgo.ErrMemoryBudget):
+			// The computation outgrew its declared budget (or was shed above
+			// the hard memory watermark) — the client's footprint problem,
+			// not the server's: 429, retry with a bigger budget or later.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("memory budget exceeded after %v", elapsed),
+				http.StatusTooManyRequests)
 		case errors.Is(err, cilkgo.ErrCanceled):
 			// Client went away; 499 in nginx's dialect.
 			http.Error(w, "client cancelled", 499)

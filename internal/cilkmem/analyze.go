@@ -1,0 +1,38 @@
+package cilkmem
+
+import "cilkgo/internal/vprog"
+
+// AnalyzeProgram runs the Analyzer over a virtual program's frame tree,
+// mirroring vprog.ToDag's event mapping. Exec/Critical segments carry no
+// memory delta in the frame model — memory is the cactus stack, frameBytes
+// per live activation — so with frameBytes 1 the result counts live frames,
+// the same unit as sim.Result.MaxLiveFrames and the §3.1 space bound.
+func AnalyzeProgram(p vprog.Program, procs int, frameBytes int64) Result {
+	a := New(procs, frameBytes)
+	walkFrame(a, p.Root())
+	return a.Finish()
+}
+
+func walkFrame(a *Analyzer, f vprog.Frame) {
+	for {
+		st := f.Next()
+		switch st.Kind {
+		case vprog.Exec, vprog.Critical:
+			// Work, not memory.
+		case vprog.Spawn:
+			a.Spawn()
+			walkFrame(a, st.Child)
+			a.Return()
+		case vprog.Call:
+			a.Call()
+			walkFrame(a, st.Child)
+			a.Return()
+		case vprog.Sync:
+			a.Sync()
+		case vprog.End:
+			return
+		default:
+			panic("cilkmem: invalid vprog step kind")
+		}
+	}
+}

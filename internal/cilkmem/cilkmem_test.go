@@ -1,0 +1,194 @@
+package cilkmem
+
+import (
+	"testing"
+
+	"cilkgo/internal/vprog"
+)
+
+// TestSingleStrand pins the one-strand case: a +10/-10 balloon on a single
+// strand. Any schedule holds at most the balloon, so exact = 10 at every p;
+// the approximation pays Ppk per processor: D + p·Ppk = 0 + 10p.
+func TestSingleStrand(t *testing.T) {
+	a := New(2, 0)
+	a.Step(10)
+	a.Step(-10)
+	r := a.Finish()
+	if r.SerialHWM != 10 || r.Exact != 10 || r.Approx != 20 {
+		t.Fatalf("got serial=%d exact=%d approx=%d, want 10/10/20",
+			r.SerialHWM, r.Exact, r.Approx)
+	}
+}
+
+// TestTwoParallelBalloons: two spawned strands each allocating and freeing
+// 10. With p=1 only one strand is ever mid-balloon, so exact stays 10.
+func TestTwoParallelBalloons(t *testing.T) {
+	a := New(1, 0)
+	for i := 0; i < 2; i++ {
+		a.Spawn()
+		a.Step(10)
+		a.Step(-10)
+		a.Return()
+	}
+	a.Sync()
+	r := a.Finish()
+	if r.SerialHWM != 10 || r.Exact != 10 || r.Approx != 10 {
+		t.Fatalf("got serial=%d exact=%d approx=%d, want 10/10/10",
+			r.SerialHWM, r.Exact, r.Approx)
+	}
+}
+
+// TestFrameCharges pins frame accounting on root+two spawned leaves with
+// FrameBytes=1. Serially only root+one child are ever live (HWM 2), but an
+// adversarial schedule parks both allocated children before either runs
+// (exact 3). Approx: D=3 (root strand cut after both spawns), Ppk=2 (the
+// root strand's own prefix peak), so D + 2·Ppk = 7 — inside (p+1)·exact=9.
+func TestFrameCharges(t *testing.T) {
+	a := New(2, 1)
+	a.Spawn()
+	a.Return()
+	a.Spawn()
+	a.Return()
+	a.Sync()
+	r := a.Finish()
+	if r.SerialHWM != 2 || r.Exact != 3 || r.Approx != 7 {
+		t.Fatalf("got serial=%d exact=%d approx=%d, want 2/3/7",
+			r.SerialHWM, r.Exact, r.Approx)
+	}
+	if r.Profile.Net != 0 {
+		t.Fatalf("balanced program has net %d, want 0", r.Profile.Net)
+	}
+}
+
+// pinnedPrograms are the dags the ISSUE pins the sandwich property on.
+func pinnedPrograms() []vprog.Program {
+	return []vprog.Program{
+		vprog.Fib(10),
+		vprog.MatMul(8, 2),
+		vprog.NQueens(6),
+	}
+}
+
+// TestSandwich is the Cilkmem bound on every pinned dag: for each p,
+// serialHWM ≤ exact_p ≤ approx_p ≤ (p+1)·exact_p, and exact is monotone
+// nondecreasing in p (a bigger machine can only hold more open).
+func TestSandwich(t *testing.T) {
+	for _, prog := range pinnedPrograms() {
+		prev := int64(0)
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			r := AnalyzeProgram(prog, p, 1)
+			if r.SerialHWM > r.Exact {
+				t.Errorf("%s p=%d: serial HWM %d > exact %d",
+					prog.Name, p, r.SerialHWM, r.Exact)
+			}
+			if r.Exact > r.Approx {
+				t.Errorf("%s p=%d: exact %d > approx %d",
+					prog.Name, p, r.Exact, r.Approx)
+			}
+			if lim := int64(p+1) * r.Exact; r.Approx > lim {
+				t.Errorf("%s p=%d: approx %d > (p+1)·exact %d",
+					prog.Name, p, r.Approx, lim)
+			}
+			if r.Exact < prev {
+				t.Errorf("%s p=%d: exact %d < exact at smaller p %d",
+					prog.Name, p, r.Exact, prev)
+			}
+			prev = r.Exact
+		}
+	}
+}
+
+// TestRandomSandwich runs the same bound over the deterministic random
+// fork-join family, which exercises call/spawn/sync interleavings the
+// regular workloads never produce.
+func TestRandomSandwich(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		prog := vprog.RandomFJ(seed, 5)
+		for _, p := range []int{1, 3, 8} {
+			r := AnalyzeProgram(prog, p, 1)
+			if r.SerialHWM > r.Exact || r.Exact > r.Approx ||
+				r.Approx > int64(p+1)*r.Exact {
+				t.Fatalf("%s p=%d: serial=%d exact=%d approx=%d violates sandwich",
+					prog.Name, p, r.SerialHWM, r.Exact, r.Approx)
+			}
+		}
+	}
+}
+
+// TestSaturatesAtTotalFrames: with an active-strand budget as large as the
+// frame count, the worst downset holds every frame live at once, so
+// exact = total activations — an absolute cross-check of the DP against
+// vprog.Analyze's frame counter. (Holds for spawn-sync-exec trees like fib
+// and nqueens; matmul's post-sync addition call can only be live after the
+// subproduct frames have been freed, so it is excluded.)
+func TestSaturatesAtTotalFrames(t *testing.T) {
+	for _, prog := range []vprog.Program{
+		vprog.Fib(6),
+		vprog.NQueens(5),
+	} {
+		frames := vprog.Analyze(prog).Frames
+		r := AnalyzeProgram(prog, int(frames), 1)
+		if r.Exact != frames {
+			t.Errorf("%s: exact at p=%d is %d, want all %d frames",
+				prog.Name, frames, r.Exact, frames)
+		}
+	}
+}
+
+// TestProfileSaturation: At saturates past the stored entries and the
+// stored vector is monotone.
+func TestProfileSaturation(t *testing.T) {
+	r := AnalyzeProgram(vprog.Fib(8), 4, 1)
+	m := r.Profile.M
+	for i := 1; i < len(m); i++ {
+		if m[i] < m[i-1] {
+			t.Fatalf("profile not monotone: %v", m)
+		}
+	}
+	if got := r.Profile.At(1000); got != m[len(m)-1] {
+		t.Fatalf("At(1000)=%d, want saturated %d", got, m[len(m)-1])
+	}
+}
+
+// TestUserDeltas mixes frame charges with user Charge/Refund-style deltas
+// on inner strands, the shape Context.Charge produces at runtime.
+func TestUserDeltas(t *testing.T) {
+	build := func(p int) Result {
+		a := New(p, 16)
+		a.Spawn()
+		a.Step(100) // child A holds 100 across its strand
+		a.Step(-100)
+		a.Return()
+		a.Spawn()
+		a.Step(40)
+		a.Call()
+		a.Step(25)
+		a.Step(-25)
+		a.Return()
+		a.Step(-40)
+		a.Return()
+		a.Sync()
+		return a.Finish()
+	}
+	for _, p := range []int{1, 2, 4} {
+		r := build(p)
+		if r.SerialHWM > r.Exact || r.Exact > r.Approx ||
+			r.Approx > int64(p+1)*r.Exact {
+			t.Fatalf("p=%d: serial=%d exact=%d approx=%d violates sandwich",
+				p, r.SerialHWM, r.Exact, r.Approx)
+		}
+		if r.Profile.Net != 0 {
+			t.Fatalf("p=%d: net %d, want 0", p, r.Profile.Net)
+		}
+	}
+	// Serial HWM: root16 + spawnA16 +100 peak = 132; branch B peaks at
+	// 16+16+40+16+25 = 113. Exact at p≥2 can hold A's balloon plus B's
+	// chain: 132 + (16+40+16+25) = 229.
+	r := build(2)
+	if r.SerialHWM != 132 {
+		t.Fatalf("serial HWM %d, want 132", r.SerialHWM)
+	}
+	if r.Exact != 229 {
+		t.Fatalf("exact(2) %d, want 229", r.Exact)
+	}
+}

@@ -1,0 +1,127 @@
+// Package cilkmem computes memory high-water marks of fork-join programs:
+// the maximum memory a p-processor execution of the computation can have
+// live at once (the MHWM of the Cilkmem paper — see PAPERS.md,
+// arXiv:1910.12340), alongside the serial high-water mark and a cheap
+// streaming (p+1)-approximation.
+//
+// The model is the dag model of PAPER.md §2 extended with memory: every
+// strand carries a sequence of signed allocation deltas (frame activations
+// are +FrameBytes at the parent's spawn/call instruction and -FrameBytes at
+// the child's return, matching the cactus-stack accounting of §3.1 and the
+// live-frame gauge of internal/sim). An execution state is a downset of the
+// dag — a set of executed instructions closed under happens-before — and
+// its memory is the net of its deltas. MHWM_p is the maximum net over
+// downsets in which at most p strands are mid-execution: the worst memory
+// any schedule on p processors can reach, however adversarial.
+//
+// Two algorithms, both driven by the same serial event stream (the order
+// internal/dag's Builder and internal/vprog's walkers emit):
+//
+//   - Exact: a dynamic program over the series-parallel decomposition. Each
+//     subcomputation reduces to a Profile — its net delta plus the vector
+//     M[0..p] of worst-case contributions when at most q of its strands are
+//     active. Series composition takes pointwise max against net-shifted
+//     suffixes; parallel composition is a max-plus convolution splitting the
+//     processor budget across the branches. O(n·p²) time, O(depth·p) live
+//     state.
+//
+//   - Approximate: a single pair of scalars per open frame. D tracks the
+//     best net over downsets whose strands are all complete; Ppk tracks the
+//     largest prefix peak of any single strand. For programs whose frees
+//     are matched by earlier allocations (every well-formed alloc/free
+//     program), exact_p ≤ D + p·Ppk ≤ (p+1)·exact_p — the sandwich the
+//     property tests pin.
+package cilkmem
+
+// Profile is the exact DP's summary of one series-parallel subcomputation.
+type Profile struct {
+	// Net is the subcomputation's total memory delta: what remains
+	// allocated after every one of its instructions has executed.
+	Net int64
+	// M[q] is the maximum net over downsets of the subcomputation with at
+	// most q strands mid-execution. M is monotone nondecreasing, M[0] ≥ 0
+	// (the empty downset), and saturates: M[q] for q ≥ len(M) equals the
+	// last entry (the subcomputation cannot keep more strands busy than it
+	// has). Profiles are capped at p+1 entries — only M[p] is ever read.
+	M []int64
+}
+
+// emptyProfile is the identity of series composition.
+func emptyProfile() Profile { return Profile{M: []int64{0}} }
+
+// At returns M[q] with saturation.
+func (pr Profile) At(q int) int64 {
+	if q >= len(pr.M) {
+		return pr.M[len(pr.M)-1]
+	}
+	return pr.M[q]
+}
+
+// strandProfile summarizes one strand: a serial run of deltas with the
+// given net and maximum prefix net. With zero active strands the strand is
+// untouched or complete (max(0, net)); with one it may be cut at its peak.
+func strandProfile(net, prefixPeak int64, cap int) Profile {
+	m0 := max64(0, net)
+	m1 := max64(m0, prefixPeak)
+	if cap <= 1 || m1 == m0 {
+		return Profile{Net: net, M: []int64{m0}}
+	}
+	return Profile{Net: net, M: []int64{m0, m1}}
+}
+
+// series composes a-then-b: b's instructions all happen after a's, so a
+// downset is either inside a, or all of a plus a downset of b.
+func series(a, b Profile, cap int) Profile {
+	if len(a.M) == 1 && a.M[0] == 0 && a.Net == 0 {
+		return b
+	}
+	n := max(len(a.M), len(b.M))
+	if n > cap {
+		n = cap
+	}
+	m := make([]int64, n)
+	for q := 0; q < n; q++ {
+		m[q] = max64(a.At(q), a.Net+b.At(q))
+	}
+	return Profile{Net: a.Net + b.Net, M: trim(m)}
+}
+
+// par composes two parallel branches: downsets choose independently inside
+// each, and the active-strand budget q splits across them — a max-plus
+// convolution of the two profiles.
+func par(a, b Profile, cap int) Profile {
+	n := len(a.M) + len(b.M) - 1
+	if n > cap {
+		n = cap
+	}
+	m := make([]int64, n)
+	for q := 0; q < n; q++ {
+		best := int64(minInt64)
+		for q1 := 0; q1 < len(a.M) && q1 <= q; q1++ {
+			if v := a.M[q1] + b.At(q-q1); v > best {
+				best = v
+			}
+		}
+		m[q] = best
+	}
+	return Profile{Net: a.Net + b.Net, M: trim(m)}
+}
+
+// trim drops a saturated tail so profile lengths track distinct entries,
+// keeping the series/par loops short on narrow subcomputations.
+func trim(m []int64) []int64 {
+	n := len(m)
+	for n > 1 && m[n-1] == m[n-2] {
+		n--
+	}
+	return m[:n]
+}
+
+const minInt64 = -1 << 63
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

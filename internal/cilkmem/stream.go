@@ -1,0 +1,268 @@
+package cilkmem
+
+// Analyzer consumes one fork-join computation as a serial event stream —
+// the depth-first order internal/dag's Builder sees and internal/vprog's
+// ToDag emits — and computes, in one pass:
+//
+//   - the serial high-water mark (the net's running peak in serial order,
+//     i.e. the 1-processor execution's live memory);
+//   - the exact p-processor MHWM via the Profile DP;
+//   - the streaming (p+1)-approximation D + p·Ppk.
+//
+// Event protocol, mirroring dag.Builder: Step(delta) adds a memory delta on
+// the current strand; Spawn/Call enter a child frame (charging FrameBytes
+// on the parent's strand — the frame is allocated by the spawning
+// instruction, before the fork); Sync joins the children spawned since the
+// last Sync; Return leaves the current frame (refunding FrameBytes at its
+// end, after its implicit sync); Finish closes the root and returns the
+// Result. Calls must nest properly; the Analyzer panics on a Return without
+// a matching Spawn/Call, like the Builder it mirrors.
+type Analyzer struct {
+	p          int
+	cap        int // p+1: profile entries worth keeping
+	frameBytes int64
+
+	// Serial clock: running net in event (= serial execution) order.
+	serialLive int64
+	serialHWM  int64
+
+	// Streaming approximation, global across frames: the largest single-
+	// strand prefix peak seen anywhere.
+	peak int64
+
+	frames []frameState
+	result *Result
+}
+
+// frameState is the per-open-frame analysis state — O(p) for the exact DP
+// plus O(1) scalars for the approximation, so total live state is
+// O(depth·p) however large the computation.
+type frameState struct {
+	called bool // entered via Call: composes in series into the parent
+
+	// Open strand segment: net and max prefix net since the last boundary
+	// (frame entry, spawn, call, call-return, or sync).
+	segNet  int64
+	segPeak int64
+
+	// Exact DP. acc is the profile of the fully-synced prefix of the
+	// frame; chain accumulates the current sync region's serial spine
+	// (strand segments and called children) since the last spawn; items
+	// holds, per spawned child of the region, the spine before its spawn
+	// and the child's profile, folded right-nested at the Sync.
+	acc   Profile
+	chain Profile
+	items []regionItem
+
+	// Streaming approximation. net is the frame's delta over completed
+	// content, excluding children spawned in the open region; childD sums
+	// those children's best complete-downset nets, pendNet their nets
+	// (folded into net at the Sync); d is the best complete-downset net
+	// over the frame's content so far.
+	net     int64
+	childD  int64
+	pendNet int64
+	d       int64
+}
+
+type regionItem struct {
+	pre   Profile // serial spine between the previous spawn and this one
+	child Profile
+}
+
+// Result is one computation's memory analysis.
+type Result struct {
+	// P is the processor count the exact and approximate marks are for.
+	P int
+	// SerialHWM is the 1-processor (serial execution) high-water mark.
+	SerialHWM int64
+	// Exact is MHWM_P: the worst live memory any P-processor schedule of
+	// the computation can reach.
+	Exact int64
+	// Approx is the streaming bound D + P·Ppk with
+	// Exact ≤ Approx ≤ (P+1)·Exact for well-formed alloc/free programs.
+	Approx int64
+	// Profile is the root's full exact profile: Profile.At(q) is MHWM_q
+	// for any q ≤ P, so one analysis answers every processor count up to P.
+	Profile Profile
+
+	// d and ppk are the streaming approximation's components (best
+	// complete-strand downset net, largest single-strand prefix peak).
+	// Neither depends on P, so ApproxAt answers any processor count.
+	d, ppk int64
+}
+
+// ExactAt returns MHWM_q for q ≤ the analyzed P (saturating above it).
+func (r Result) ExactAt(q int) int64 { return r.Profile.At(q) }
+
+// ApproxAt returns the streaming bound D + q·Ppk for any processor count.
+func (r Result) ApproxAt(q int) int64 { return r.d + int64(q)*r.ppk }
+
+// New returns an Analyzer for p processors. frameBytes, when nonzero, is
+// charged on the parent strand at every Spawn/Call and refunded at the
+// matching Return — the cactus-stack activation cost; with frameBytes 1 the
+// marks count live frames, directly comparable to sim.Result.MaxLiveFrames.
+func New(p int, frameBytes int64) *Analyzer {
+	if p < 1 {
+		p = 1
+	}
+	a := &Analyzer{p: p, cap: p + 1, frameBytes: frameBytes}
+	a.frames = []frameState{{acc: emptyProfile(), chain: emptyProfile()}}
+	a.step(frameBytes) // the root frame's own activation
+	return a
+}
+
+func (a *Analyzer) top() *frameState { return &a.frames[len(a.frames)-1] }
+
+// Step records a memory delta on the current strand.
+func (a *Analyzer) Step(delta int64) {
+	if a.result != nil {
+		panic("cilkmem: Step after Finish")
+	}
+	a.step(delta)
+}
+
+func (a *Analyzer) step(delta int64) {
+	if delta == 0 {
+		return
+	}
+	a.serialLive += delta
+	if a.serialLive > a.serialHWM {
+		a.serialHWM = a.serialLive
+	}
+	f := a.top()
+	f.segNet += delta
+	if f.segNet > f.segPeak {
+		f.segPeak = f.segNet
+	}
+}
+
+// closeSeg ends the open strand segment at a boundary: the segment becomes
+// a strand profile on the exact side, and feeds net/D/Ppk on the streaming
+// side.
+func (a *Analyzer) closeSeg() {
+	f := a.top()
+	if f.segNet != 0 || f.segPeak != 0 {
+		f.chain = series(f.chain, strandProfile(f.segNet, f.segPeak, a.cap), a.cap)
+		f.net += f.segNet
+		if f.segPeak > a.peak {
+			a.peak = f.segPeak
+		}
+		f.segNet, f.segPeak = 0, 0
+	}
+	if cand := f.net + f.childD; cand > f.d {
+		f.d = cand
+	}
+}
+
+// Spawn enters a spawned child frame: the child may run in parallel with
+// everything after the spawn up to the joining Sync.
+func (a *Analyzer) Spawn() {
+	a.step(a.frameBytes) // the child's activation, charged at the spawn
+	a.closeSeg()
+	f := a.top()
+	f.items = append(f.items, regionItem{pre: f.chain})
+	f.chain = emptyProfile()
+	a.push(false)
+}
+
+// Call enters a called child frame: the child runs in series on the
+// caller's strand (its own spawns are joined by its own implicit sync).
+func (a *Analyzer) Call() {
+	a.step(a.frameBytes)
+	a.closeSeg()
+	a.push(true)
+}
+
+func (a *Analyzer) push(called bool) {
+	a.frames = append(a.frames, frameState{
+		called: called,
+		acc:    emptyProfile(),
+		chain:  emptyProfile(),
+	})
+}
+
+// Sync joins every child spawned in the current region: the region's
+// right-nested series-parallel form folds into the frame's accumulator.
+func (a *Analyzer) Sync() {
+	a.closeSeg()
+	f := a.top()
+	region := f.chain
+	for i := len(f.items) - 1; i >= 0; i-- {
+		region = series(f.items[i].pre, par(f.items[i].child, region, a.cap), a.cap)
+	}
+	f.items = f.items[:0]
+	f.acc = series(f.acc, region, a.cap)
+	f.chain = emptyProfile()
+	// Past the sync the children are complete in any further downset:
+	// their nets fold into the frame's own.
+	f.net += f.pendNet
+	f.pendNet, f.childD = 0, 0
+	if f.net > f.d {
+		f.d = f.net
+	}
+}
+
+// Return leaves the current frame: an implicit Sync joins any children
+// still outstanding, the frame's activation is refunded, and its profile
+// composes into the parent (in parallel for a spawned frame, in series for
+// a called one).
+func (a *Analyzer) Return() {
+	if len(a.frames) <= 1 {
+		panic("cilkmem: Return on the root frame (use Finish)")
+	}
+	a.Sync()
+	a.step(-a.frameBytes) // the frame is freed as its last instruction
+	a.closeSeg()
+	f := a.top()
+	profile := series(f.acc, f.chain, a.cap)
+	net, d, called := f.net, f.d, f.called
+	a.frames = a.frames[:len(a.frames)-1]
+
+	parent := a.top()
+	if called {
+		parent.chain = series(parent.chain, profile, a.cap)
+		if cand := parent.net + parent.childD + d; cand > parent.d {
+			parent.d = cand
+		}
+		parent.net += net
+	} else {
+		parent.items[len(parent.items)-1].child = profile
+		parent.childD += d
+		parent.pendNet += net
+		if cand := parent.net + parent.childD; cand > parent.d {
+			parent.d = cand
+		}
+	}
+}
+
+// Finish closes the root frame and returns the analysis. The Analyzer is
+// spent afterwards.
+func (a *Analyzer) Finish() Result {
+	if a.result != nil {
+		return *a.result
+	}
+	if len(a.frames) != 1 {
+		panic("cilkmem: Finish with unreturned frames")
+	}
+	a.Sync()
+	a.step(-a.frameBytes)
+	a.closeSeg()
+	f := a.top()
+	root := series(f.acc, f.chain, a.cap)
+	ppk := a.peak
+	if ppk < 0 {
+		ppk = 0
+	}
+	r := Result{
+		P:         a.p,
+		SerialHWM: a.serialHWM,
+		Exact:     root.At(a.p),
+		Approx:    f.d + int64(a.p)*ppk,
+		Profile:   root,
+		d:         f.d,
+		ppk:       ppk,
+	}
+	a.result = &r
+	return r
+}

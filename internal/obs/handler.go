@@ -28,6 +28,9 @@ import (
 //	                         roots by QoS class, per-tenant load, admission
 //	                         outcomes — the backpressure signal for load
 //	                         shedding
+//	/debug/cilk/mem          JSON: the MemReport — live accounted bytes,
+//	                         memory watermarks, budget cancels, pressure
+//	                         sheds, per-tenant in-flight charges and EWMAs
 //
 // Run-level endpoints need the runtime built with an observer
 // (sched.WithRunObserver(obs.NewRegistry(...))); without one they answer
@@ -43,6 +46,7 @@ func Handler(rt *sched.Runtime) http.Handler {
 	mux.HandleFunc("/debug/cilk/trace", h.trace)
 	mux.HandleFunc("/debug/cilk/stalls", h.stalls)
 	mux.HandleFunc("/debug/cilk/load", h.load)
+	mux.HandleFunc("/debug/cilk/mem", h.mem)
 	mux.HandleFunc("/debug/cilk/", h.index)
 	return mux
 }
@@ -214,6 +218,13 @@ func (h *handler) load(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// mem serves the runtime's MemReport: the live accounted-byte gauge against
+// its watermarks, the enforcement counters, and each tenant's in-flight
+// charge and peak EWMA — the memory half of the load/backpressure picture.
+func (h *handler) mem(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.rt.MemReport())
+}
+
 func (h *handler) index(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `cilk runtime introspection
@@ -223,6 +234,7 @@ func (h *handler) index(w http.ResponseWriter, r *http.Request) {
   /debug/cilk/trace        capture a Chrome trace (?dur=2s)
   /debug/cilk/stalls       sanitizer stall/violation findings (JSON)
   /debug/cilk/load         serving load report: queues, tenants, admission (JSON)
+  /debug/cilk/mem          memory report: live bytes, watermarks, budgets, tenant EWMAs (JSON)
 `)
 }
 

@@ -19,27 +19,29 @@ import (
 // promCounters are the Metrics() keys exported as counters; everything else
 // is a gauge. Kept in sync with sched.Stats documentation.
 var promCounters = map[string]bool{
-	"spawns":               true,
-	"steals":               true,
-	"steal_attempts":       true,
-	"steal_batches":        true,
-	"tasks_stolen_batched": true,
-	"failed_sweeps":        true,
-	"tasks_run":            true,
-	"tasks_skipped":        true,
-	"loop_splits":          true,
-	"chunks_peeled":        true,
-	"range_steals":         true,
-	"local_steals":         true,
-	"remote_steals":        true,
-	"domain_escalations":   true,
-	"affinity_reinjected":  true,
-	"runs_submitted":       true,
-	"runs_canceled":        true,
-	"panics_quarantined":   true,
-	"stalls":               true,
-	"san_violations":       true,
-	"san_faults_injected":  true,
+	"spawns":                true,
+	"steals":                true,
+	"steal_attempts":        true,
+	"steal_batches":         true,
+	"tasks_stolen_batched":  true,
+	"failed_sweeps":         true,
+	"tasks_run":             true,
+	"tasks_skipped":         true,
+	"loop_splits":           true,
+	"chunks_peeled":         true,
+	"range_steals":          true,
+	"local_steals":          true,
+	"remote_steals":         true,
+	"domain_escalations":    true,
+	"affinity_reinjected":   true,
+	"runs_submitted":        true,
+	"runs_canceled":         true,
+	"mem_budget_cancels":    true,
+	"mem_pressure_rejected": true,
+	"panics_quarantined":    true,
+	"stalls":                true,
+	"san_violations":        true,
+	"san_faults_injected":   true,
 }
 
 // WriteMetrics writes the full Prometheus scrape: every sched.Metrics
@@ -146,6 +148,10 @@ func WriteMetrics(w io.Writer, rt *sched.Runtime, reg *Registry) error {
 		bw.printf("# TYPE cilk_tenant_memory_bytes gauge\n")
 		for _, t := range load.Tenants {
 			bw.printf("cilk_tenant_memory_bytes{tenant=%q} %d\n", t.Tenant, t.Memory)
+		}
+		bw.printf("# TYPE cilk_tenant_mem_ewma_bytes gauge\n")
+		for _, t := range load.Tenants {
+			bw.printf("cilk_tenant_mem_ewma_bytes{tenant=%q} %d\n", t.Tenant, t.MemEWMA)
 		}
 		bw.printf("# TYPE cilk_tenant_admitted counter\n")
 		for _, t := range load.Tenants {

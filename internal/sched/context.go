@@ -71,6 +71,7 @@ func (c *Context) Spawn(fn func(*Context)) {
 		return
 	}
 	f := c.frame
+	f.run.checkBudget(c.w) // the spawn boundary is a budget check site too
 	if f.run.cancelled() {
 		return
 	}
@@ -116,14 +117,15 @@ func (c *Context) Spawn(fn func(*Context)) {
 // instrumentation hooks in depth-first serial order. The child shares the
 // parent's view map, which trivially yields the serial reduction order.
 func (c *Context) spawnSerial(fn func(*Context)) {
-	if c.frame.run.cancelled() {
+	rs := c.frame.run
+	rs.checkBudget(nil)
+	if rs.cancelled() {
 		return
 	}
 	h := c.rt.cfg.hooks
 	if h != nil {
 		h.Spawn()
 	}
-	rs := c.frame.run
 	child := newFrameShared(c.frame, rs, 0, c.frame.depth+1)
 	if rs.stats != nil {
 		// Serial-elision accounting is tracked in plain per-run fields on

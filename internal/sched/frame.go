@@ -351,6 +351,20 @@ type runState struct {
 	stop        func()
 	releaseOnce sync.Once
 
+	// Memory accounting and enforcement (see memory.go). memBudget is the
+	// run's WithMemoryBudget in bytes (0 = unenforced), fixed before the
+	// root is published. sharedMem holds charges made without a worker
+	// identity (Submit roots, serial elision); worker charges shard into the
+	// runCells. memPeak is the run's live-byte watermark, raised by every
+	// budget check (maxStore: any worker's boundary may raise it). memAdm is
+	// the amount admission actually charged — the declared estimate, or the
+	// tenant's EWMA when pressure distrusts declarations — and is what
+	// release refunds.
+	memBudget int64
+	memAdm    int64
+	sharedMem atomic.Int64
+	memPeak   atomic.Int64
+
 	// Serial-elision accounting: the elision is one strand, so its counters
 	// are plain fields bumped by spawnSerial and published into stats cell 0
 	// once, when runSerial finishes — replacing the old per-spawn atomic
@@ -383,6 +397,13 @@ func (rs *runState) release() {
 		if rs.stop != nil {
 			rs.stop()
 		}
+		// Count budget cancellations here, exactly once per run: several
+		// boundary checks may race to install the cause, but only one
+		// release runs. canceled's publish order guarantees cause is
+		// readable once the flag is up.
+		if rs.canceled.Load() && rs.cause == ErrMemoryBudget && rs.rt != nil {
+			rs.rt.memBudgetCancels.Add(1)
+		}
 		rs.rt.adm.release(rs)
 	})
 }
@@ -408,7 +429,14 @@ type runCell struct {
 	loopSplits    atomic.Int64
 	chunksPeeled  atomic.Int64
 	rangeSteals   atomic.Int64
-	_             [48]byte // pad 10×8 B of counters to two 64 B cache lines
+	// memLive/memPeak are the run's live-byte accounting shard (see
+	// memory.go): frame bytes and Context.Charge declarations performed by
+	// this cell's worker. Refunds may land in a different cell than their
+	// charge, so memLive can go negative; only the cross-cell sum means
+	// anything. memPeak is raised only on this cell's own positive charges.
+	memLive atomic.Int64
+	memPeak atomic.Int64
+	_       [32]byte // pad 12×8 B of counters to two 64 B cache lines
 }
 
 // runCounters is a run's accounting, sharded one cell per worker.
@@ -465,6 +493,8 @@ func (rs *runState) snapshot() Stats {
 		out.Work = time.Duration(cl.work.Load())
 		out.Span = time.Duration(cl.span.Load())
 	}
+	out.MemLiveBytes = rs.memLiveBytes()
+	out.MemPeakBytes = rs.memPeakBytes()
 	return out
 }
 
@@ -606,6 +636,7 @@ func newFrameShared(parent *frame, rs *runState, ordinal, depth int32) *frame {
 	f := framePool.Get().(*frame)
 	f.parent, f.run = parent, rs
 	f.ordinal, f.depth = ordinal, depth
+	chargeFrameMem(rs, nil, frameMemBytes)
 	return f
 }
 
@@ -614,6 +645,7 @@ func newFrameShared(parent *frame, rs *runState, ordinal, depth int32) *frame {
 // embedded Context without rebinding w and relies on w == nil meaning
 // serial elision.
 func freeFrameShared(f *frame) {
+	chargeFrameMem(f.run, nil, -frameMemBytes) // before resetFrame drops f.run
 	resetFrame(f)
 	f.ctx.w, f.ctx.rt = nil, nil
 	framePool.Put(f)
@@ -633,12 +665,16 @@ func (w *worker) getFrame(parent *frame, rs *runState, ordinal, depth int32) *fr
 	}
 	f.parent, f.run = parent, rs
 	f.ordinal, f.depth = ordinal, depth
+	chargeFrameMem(rs, w, frameMemBytes)
 	return f
 }
 
 // putFrame resets f and returns it to w's freelist, spilling one batch to
 // the backstop when the list is full.
 func (w *worker) putFrame(f *frame) {
+	if rs := f.run; rs != nil {
+		chargeFrameMem(rs, w, -frameMemBytes) // before resetFrame drops f.run
+	}
 	resetFrame(f)
 	if len(w.frameFree) >= frameLocalCap {
 		w.spillFrames()

@@ -133,6 +133,7 @@ func (w *worker) peel(t *task, ctx *Context, held *bool) bool {
 	*held = true
 	for {
 		lo, hi := t.lo, t.hi
+		rs.checkBudget(w) // the chunk boundary bounds over-budget latency
 		if rs.cancelled() {
 			return true // skip-but-join: remaining iterations abandoned
 		}
@@ -322,15 +323,20 @@ func (w *worker) runPiece(t *task) {
 	// Deposit before signalling the join counter: the loop's sync must not
 	// fold until every episode's views are visible.
 	lf.depositPiece(ls.seq, start, ctx.views)
-	if consumed {
-		w.rt.sanJoin(lf.pending.Add(-1), "a consumed range task", rs)
-		freeRangeTask(t)
-	}
-	w.rt.sanJoin(lf.pending.Add(-1), "an episode unit", rs) // release the episode unit
+	// Retire the piece frame and settle the live gauges before releasing the
+	// join units: once the episode unit drops, the loop's sync may fold and
+	// the run may finish, and by then this episode's frame refund and
+	// live-frame decrement must already be visible (see runTask's completion
+	// path for the same ordering).
 	w.recycleFrame(pf)
 	bumpN(&w.ws.liveFrames, -1)
 	if s := rs.stats; s != nil {
 		bumpN(&s.cells[w.id].liveFrames, -1)
 	}
+	if consumed {
+		w.rt.sanJoin(lf.pending.Add(-1), "a consumed range task", rs)
+		freeRangeTask(t)
+	}
+	w.rt.sanJoin(lf.pending.Add(-1), "an episode unit", rs) // release the episode unit
 	w.rec.TaskEnd()
 }

@@ -1,0 +1,267 @@
+package sched
+
+// This file is the runtime's memory-accounting and budget-enforcement layer
+// — the enforcement half of the Cilkmem story (internal/cilkmem is the
+// analysis half). The model is the same as the analyzer's: a run's live
+// memory is the sum of its live activation frames (charged at allocation on
+// the spawning strand, refunded when the frame retires) plus whatever the
+// program itself declares through Context.Charge/Refund. The accounting
+// rides in the same per-worker runCell shards as the PR 9 counters — a
+// single-writer load/store per charge on a cache line the worker already
+// owns — so a run submitted without stats or a budget pays only a nil check
+// per site, and an accounted run pays no cross-worker traffic.
+//
+// Enforcement is cooperative, at exactly the cancellation layer's
+// boundaries (spawn, task start, chunk peel): a run whose live bytes exceed
+// its WithMemoryBudget is cancelled skip-but-join with ErrMemoryBudget, so
+// an over-budget computation stops growing its spawn tree within one chunk
+// boundary but no running strand is ever interrupted. Charges land in the
+// worker that performs them while refunds land in the worker that frees, so
+// individual cells can go negative; only the cross-cell sum is meaningful,
+// and it is exact at every instant.
+
+import (
+	"sort"
+	"unsafe"
+
+	"cilkgo/internal/schedsan"
+)
+
+// ErrMemoryBudget is returned by a run's Ticket when the run was cancelled
+// because its measured live memory — frame bytes plus Context.Charge
+// declarations — exceeded its WithMemoryBudget. Match with errors.Is.
+var ErrMemoryBudget error = &cancelError{msg: "sched: computation exceeded its memory budget"}
+
+// frameMemBytes is what one live activation frame costs the accounting: the
+// frame struct itself, with its embedded task and Context. The bookkeeping
+// slices a frame grows (sealed views, child views) are charged to the frame
+// flat — metering their exact capacity would put an allocator probe on the
+// spawn fast path for a second-order term.
+const frameMemBytes = int64(unsafe.Sizeof(frame{}))
+
+// chargeFrameMem records one frame allocation (delta = +frameMemBytes) or
+// retirement (−frameMemBytes) against the run, in the acting worker's cell —
+// or in the run's shared counter when there is no worker (Submit roots,
+// serial elision). No-op unless the run carries counters. Queued-but-unrun
+// frames are charged like running ones: a spawn bomb's memory is in its
+// queued frames, which is exactly what a budget must see.
+func chargeFrameMem(rs *runState, w *worker, delta int64) {
+	s := rs.stats
+	if s == nil {
+		return
+	}
+	if w == nil {
+		rs.sharedMem.Add(delta)
+		return
+	}
+	cell := &s.cells[w.id]
+	n := cell.memLive.Load() + delta
+	cell.memLive.Store(n)
+	if delta > 0 {
+		maxOwn(&cell.memPeak, n)
+	}
+}
+
+// memLiveBytes is the run's current live memory: the cross-cell sum plus the
+// shared (worker-less) counter. Like liveFrameSum, a single frame's charge
+// and refund may land in different cells, so individual cells can be
+// negative; the sum is exact.
+func (rs *runState) memLiveBytes() int64 {
+	n := rs.sharedMem.Load()
+	if s := rs.stats; s != nil {
+		for i := range s.cells {
+			n += s.cells[i].memLive.Load()
+		}
+	}
+	return n
+}
+
+// memPeakBytes is the run's measured high-water mark, the sample the
+// admission layer's per-tenant EWMA feeds on. For a budgeted run rs.memPeak
+// is the true watermark (maintained by every boundary check); otherwise the
+// sum of per-cell peaks is a conservative upper bound (each cell's peak
+// bounds its live bytes at the true peak instant, so the sum bounds the
+// total).
+func (rs *runState) memPeakBytes() int64 {
+	p := rs.memPeak.Load()
+	var sum int64
+	if s := rs.stats; s != nil {
+		for i := range s.cells {
+			sum += s.cells[i].memPeak.Load()
+		}
+	}
+	if sum > p {
+		p = sum
+	}
+	return p
+}
+
+// checkBudget is the boundary gate, called at the same spawn / task-start /
+// chunk-peel sites as the cancel check. The unbudgeted fast path is one
+// plain field load and a branch, inlined at every site.
+func (rs *runState) checkBudget(w *worker) {
+	if rs.memBudget > 0 {
+		rs.checkBudgetSlow(w)
+	}
+}
+
+func (rs *runState) checkBudgetSlow(w *worker) {
+	if rs.canceled.Load() {
+		return
+	}
+	n := rs.memLiveBytes()
+	maxStore(&rs.memPeak, n)
+	fault := false
+	if w != nil {
+		// Sanitizer: a forced PointMemCharge failure trips the budget
+		// spuriously. Only budget-armed runs ever reach this point, so the
+		// fault exercises exactly the ErrMemoryBudget drain path.
+		fault = w.san.Fail(schedsan.PointMemCharge)
+	}
+	if n > rs.memBudget || fault {
+		rs.cancelWith(ErrMemoryBudget)
+	}
+}
+
+// Charge records bytes of memory the calling strand has made live — a big
+// allocation the frame model cannot see — against the run's accounting and
+// budget. Refund (or Charge with a negative delta) returns it; a strand
+// need not refund on the worker that charged. On a budgeted run a positive
+// charge is itself a budget check site, so a single oversized allocation is
+// caught immediately rather than at the next spawn. Without stats or a
+// budget armed the charge still feeds the runtime-wide live gauge
+// (Runtime.MemLiveBytes) and costs two plain stores.
+func (c *Context) Charge(bytes int64) {
+	if bytes == 0 {
+		return
+	}
+	rs := c.frame.run
+	if w := c.w; w != nil {
+		bumpN(&w.ws.memLive, bytes)
+		if s := rs.stats; s != nil {
+			cell := &s.cells[w.id]
+			n := cell.memLive.Load() + bytes
+			cell.memLive.Store(n)
+			if bytes > 0 {
+				maxOwn(&cell.memPeak, n)
+			}
+		}
+	} else {
+		rs.sharedMem.Add(bytes)
+	}
+	if bytes > 0 {
+		rs.checkBudget(c.w)
+	}
+}
+
+// Refund returns bytes previously recorded with Charge. Refund(n) is
+// Charge(-n).
+func (c *Context) Refund(bytes int64) { c.Charge(-bytes) }
+
+// MemLiveBytes estimates the runtime's current live computation memory
+// across all runs: every worker's live frames at frameMemBytes each, plus
+// the net Context.Charge balance. It is a racy gauge — workers update their
+// cells while it sums — suitable for watermark decisions, not invariants.
+// Always 0 on a serial-elision runtime (no workers).
+func (rt *Runtime) MemLiveBytes() int64 {
+	var n int64
+	for _, w := range rt.workers {
+		n += w.ws.liveFrames.Load()*frameMemBytes + w.ws.memLive.Load()
+	}
+	return n
+}
+
+// TenantMem is one tenant's slice of a MemReport.
+type TenantMem struct {
+	// Tenant is the label submissions carried via WithTenant.
+	Tenant string
+	// Memory is the tenant's in-flight admission-charged bytes; EWMA is the
+	// exponentially weighted mean of its runs' measured peaks — what
+	// admission charges a declared-too-small submission above the soft
+	// watermark.
+	Memory int64
+	EWMA   int64
+}
+
+// MemReport is a point-in-time snapshot of the runtime's memory posture:
+// the live gauge, the configured watermarks, the pressure counters, and the
+// per-tenant measured footprints.
+type MemReport struct {
+	// LiveBytes is Runtime.MemLiveBytes at snapshot time.
+	LiveBytes int64
+	// SoftWatermark and HardWatermark echo the AdmissionConfig (0 = unset).
+	SoftWatermark int64
+	HardWatermark int64
+	// BudgetCancels counts runs cancelled with ErrMemoryBudget — per-run
+	// budgets and hard-watermark shedding together.
+	BudgetCancels int64
+	// PressureRejected counts best-effort submissions refused because the
+	// runtime was above its soft watermark.
+	PressureRejected int64
+	// Tenants lists per-tenant memory state, sorted by label.
+	Tenants []TenantMem
+}
+
+// MemReport snapshots the runtime's memory posture.
+func (rt *Runtime) MemReport() MemReport {
+	r := MemReport{
+		LiveBytes:     rt.MemLiveBytes(),
+		BudgetCancels: rt.memBudgetCancels.Load(),
+	}
+	a := rt.adm
+	a.mu.Lock()
+	if cfg := a.cfg; cfg != nil {
+		r.SoftWatermark = cfg.SoftMemoryWatermark
+		r.HardWatermark = cfg.HardMemoryWatermark
+	}
+	r.PressureRejected = a.rejectedMemory
+	r.Tenants = make([]TenantMem, 0, len(a.tenants))
+	for name, ts := range a.tenants {
+		r.Tenants = append(r.Tenants, TenantMem{Tenant: name, Memory: ts.memory, EWMA: ts.memEWMA})
+	}
+	a.mu.Unlock()
+	sort.Slice(r.Tenants, func(i, j int) bool { return r.Tenants[i].Tenant < r.Tenants[j].Tenant })
+	return r
+}
+
+// memWatermarksArmed reports whether submissions need the live gauge. cfg
+// is immutable after construction, so no lock.
+func (a *admission) memWatermarksArmed() bool {
+	cfg := a.cfg
+	return cfg != nil && (cfg.SoftMemoryWatermark > 0 || cfg.HardMemoryWatermark > 0)
+}
+
+// shedForMemory is the hard-watermark degradation step, run at submission
+// time when the live gauge is above HardMemoryWatermark: cancel (with
+// ErrMemoryBudget) the best-effort run whose measured live memory most
+// exceeds its tenant's EWMA — the one most out of profile. Locks are taken
+// strictly in sequence (a.mu, then rt.mu, then neither), never nested, and
+// the cancel itself happens outside both.
+func (rt *Runtime) shedForMemory(liveBytes int64) {
+	cfg := rt.adm.cfg
+	if cfg == nil || cfg.HardMemoryWatermark <= 0 || liveBytes <= cfg.HardMemoryWatermark {
+		return
+	}
+	a := rt.adm
+	a.mu.Lock()
+	ewma := make(map[string]int64, len(a.tenants))
+	for name, ts := range a.tenants {
+		ewma[name] = ts.memEWMA
+	}
+	a.mu.Unlock()
+	var victim *runState
+	var worst int64
+	rt.mu.Lock()
+	for rs := range rt.active {
+		if rs.qos != QoSBestEffort || rs.stats == nil || rs.canceled.Load() {
+			continue
+		}
+		if over := rs.memLiveBytes() - ewma[rs.tenant]; over > 0 && over > worst {
+			worst, victim = over, rs
+		}
+	}
+	rt.mu.Unlock()
+	if victim != nil {
+		victim.cancelWith(ErrMemoryBudget)
+	}
+}

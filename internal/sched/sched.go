@@ -120,6 +120,10 @@ type Runtime struct {
 	runsCanceled      atomic.Int64
 	panicsQuarantined atomic.Int64
 
+	// Memory-layer counter (see memory.go): runs cancelled with
+	// ErrMemoryBudget, counted exactly once per run at release.
+	memBudgetCancels atomic.Int64
+
 	// Sanitizer layer (see sanitize.go): nil unless built with WithSanitize.
 	// stalls counts the watchdog's no-progress findings (Stats.Stalls).
 	san    *sanState
@@ -812,6 +816,7 @@ func (w *worker) runTask(t *task) {
 	// only per-task cleanup left.
 	t.fn = nil
 	rs := f.run
+	rs.checkBudget(w) // task start is a budget boundary, like the cancel gate below
 	if rs.cancelled() {
 		w.skipFrame(f)
 		return
@@ -867,24 +872,30 @@ func (w *worker) runTask(t *task) {
 		ctx.depositSpan(cl)
 	}
 
-	if p := f.parent; p != nil {
-		if len(ctx.views) > 0 {
-			p.depositChildViews(f.ordinal, ctx.views)
-		}
-		w.rt.sanJoin(p.pending.Add(-1), "a completed child", rs)
-	} else {
-		finalizeViews(ctx.views)
-		rs.finish()
+	p := f.parent
+	views := ctx.views
+	if p != nil && len(views) > 0 {
+		p.depositChildViews(f.ordinal, views)
+		views = nil
 	}
-	// The frame is fully joined: its children have deposited and its parent
-	// has been signalled, so nothing references it any more and it — with
-	// its embedded task and Context — can be recycled. Safe because ring
-	// slots no longer retain stale pointers, so no thief can observe the
-	// frame through the deque after this point.
+	// The frame's own work is complete — children joined, views deposited —
+	// so this strand owns it exclusively and nothing can reach it through
+	// the deque (ring slots no longer retain stale pointers). Recycle it,
+	// with its embedded task and Context, and settle the live gauges BEFORE
+	// signalling the parent's join counter (or finishing the root): the
+	// decrement and the frame's memory refund thereby happen-before the
+	// run's done channel closes, so a run's live-frame and live-byte sums
+	// are exactly zero by the time Ticket.Wait returns.
 	w.recycleFrame(f)
 	bumpN(&w.ws.liveFrames, -1)
 	if s := rs.stats; s != nil {
 		bumpN(&s.cells[w.id].liveFrames, -1)
+	}
+	if p != nil {
+		w.rt.sanJoin(p.pending.Add(-1), "a completed child", rs)
+	} else {
+		finalizeViews(views)
+		rs.finish()
 	}
 	w.rec.TaskEnd()
 }
@@ -903,10 +914,14 @@ func (w *worker) skipFrame(f *frame) {
 		bump(&s.cells[w.id].tasksSkipped)
 	}
 	w.rec.TaskSkip(f.depth, rs.id)
-	if p := f.parent; p != nil {
+	// Recycle before signalling the join (or finishing the root) so the
+	// frame's memory refund happens-before the run's done channel closes —
+	// same ordering as runTask's completion path.
+	p := f.parent
+	w.recycleFrame(f)
+	if p != nil {
 		w.rt.sanJoin(p.pending.Add(-1), "a skipped child", rs)
 	} else {
 		rs.finish()
 	}
-	w.recycleFrame(f)
 }

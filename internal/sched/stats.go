@@ -31,6 +31,12 @@ type workerStats struct {
 	affinityReinjected atomic.Int64
 	poolRefills        atomic.Int64
 	poolSpills         atomic.Int64
+	// memLive is the worker's net Context.Charge balance across all runs,
+	// armed or not — together with liveFrames it feeds the runtime-wide
+	// live-memory gauge (Runtime.MemLiveBytes) the admission watermarks
+	// consult. Like the per-run cells, refunds may land on a different
+	// worker than their charge, so a single worker's value can go negative.
+	memLive atomic.Int64
 }
 
 // bump adds 1 to a single-writer atomic counter with a plain load and
@@ -149,6 +155,17 @@ type Stats struct {
 	// stall watchdog (see schedsan.Options.StallAfter). Always zero on a
 	// runtime built without WithSanitize or without a watchdog threshold.
 	Stalls int64
+	// MemLiveBytes and MemPeakBytes are the memory accounting gauges (see
+	// memory.go): live frame bytes plus the net Context.Charge balance, and
+	// the run's measured high-water mark. In a per-run snapshot (Ticket.Stats)
+	// MemLiveBytes is read at quiescence, so it is the run's unrefunded
+	// Charge balance — 0 for a balanced program — and MemPeakBytes is the
+	// peak the admission EWMA feeds on. In the runtime-wide Stats(),
+	// MemLiveBytes is the instantaneous cross-run gauge and MemPeakBytes is
+	// zero (peaks are a per-run notion). Both are watermark/gauge-like:
+	// Sub keeps the newer snapshot's values.
+	MemLiveBytes int64
+	MemPeakBytes int64
 	// Work and Span are the run's online work (T1) and span (T∞), measured
 	// during the parallel execution itself by per-strand clocks aggregated
 	// at spawn/sync boundaries (see obs.go). Populated only in the Stats of
@@ -190,6 +207,7 @@ func (rt *Runtime) Stats() Stats {
 		}
 	}
 	s.Stalls = rt.stalls.Load()
+	s.MemLiveBytes = rt.MemLiveBytes()
 	return s
 }
 
@@ -216,6 +234,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	s.PoolRefills -= prev.PoolRefills
 	s.PoolSpills -= prev.PoolSpills
 	s.Stalls -= prev.Stalls
+	// MemLiveBytes and MemPeakBytes are gauges/watermarks like MaxLiveFrames:
+	// deltas are meaningless, keep s's values.
 	s.Work -= prev.Work
 	s.Span -= prev.Span
 	return s
@@ -262,6 +282,10 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		// Serving-layer gauges and counters (see submit.go): roots queued in
 		// injection lanes right now, and cumulative admission outcomes.
 		"inject_queued": rt.injected.Load(),
+		// Memory layer (memory.go): the live gauge and runs cancelled for
+		// exceeding their budget (per-run budgets plus hard-watermark sheds).
+		"mem_live_bytes":     s.MemLiveBytes,
+		"mem_budget_cancels": rt.memBudgetCancels.Load(),
 	}
 	if a := rt.adm; a != nil {
 		a.mu.Lock()
@@ -269,6 +293,7 @@ func (rt *Runtime) Metrics() map[string]int64 {
 		m["admission_admitted"] = a.admitted
 		m["admission_rejected_load"] = a.rejectedLoad
 		m["admission_rejected_quota"] = a.rejectedQuota
+		m["mem_pressure_rejected"] = a.rejectedMemory
 		a.mu.Unlock()
 	}
 	for c := 0; c < numQoS; c++ {

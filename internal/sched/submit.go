@@ -101,12 +101,18 @@ func WithTimeBudget(d time.Duration) RunOption {
 	return func(sc *submitCfg) { sc.timeBudget = d }
 }
 
-// WithMemoryBudget declares the run's estimated peak memory use in bytes.
-// The runtime does not meter allocation; the declared estimate is charged
-// against AdmissionConfig/Quota MaxMemory for the run's lifetime, so
-// admission can refuse work whose declared footprints no longer fit
-// (Cilkmem's "don't admit work you can't bound" posture, on the honor
-// system until per-run metering lands).
+// WithMemoryBudget declares and enforces the run's peak memory in bytes. At
+// admission the declared estimate is charged against AdmissionConfig/Quota
+// MaxMemory for the run's lifetime. At execution it is a hard budget: the
+// runtime meters the run's live memory — activation frames (including
+// queued, not-yet-run spawns) plus the program's own Context.Charge
+// declarations — at every spawn, task-start, and chunk boundary, and a run
+// that exceeds the budget is cooperatively cancelled with ErrMemoryBudget
+// (skip-but-join: running strands finish their grain, pending work is
+// abandoned but still joins). A budget implies per-run accounting, as if
+// WithStats were also given; Ticket.Stats().MemPeakBytes reports the
+// measured high-water mark (Cilkmem's "don't admit work you can't bound"
+// posture, now measured rather than honor-system).
 func WithMemoryBudget(bytes int64) RunOption {
 	return func(sc *submitCfg) { sc.memory = bytes }
 }
@@ -210,19 +216,32 @@ func (rt *Runtime) submit(ctx context.Context, fn func(*Context), sc submitCfg) 
 	if err := ctx.Err(); err != nil {
 		return nil, mapCtxErr(err)
 	}
-	if err := rt.adm.admit(sc.tenant, sc.memory); err != nil {
+	// Memory watermarks (see memory.go): the live gauge is read once per
+	// submission, only when a watermark is configured. Above the hard
+	// watermark the most out-of-profile best-effort run is shed before this
+	// submission is even considered; above the soft one, admit itself turns
+	// defensive (best-effort rejected, declarations distrusted).
+	var liveBytes int64
+	if rt.adm.memWatermarksArmed() {
+		liveBytes = rt.MemLiveBytes()
+		rt.shedForMemory(liveBytes)
+	}
+	charged, err := rt.adm.admit(sc.tenant, sc.qos, sc.memory, liveBytes)
+	if err != nil {
 		return nil, err
 	}
 	rs := &runState{
 		id: rt.runIDs.Add(1), rt: rt, done: make(chan struct{}),
 		tenant: sc.tenant, qos: sc.qos, prio: sc.priority, memEst: sc.memory,
+		memAdm: charged, memBudget: sc.memory,
 	}
 	obs := rt.cfg.observer
-	if sc.track || obs != nil {
+	if sc.track || obs != nil || sc.memory > 0 {
 		// Observation implies per-run accounting: the observer's report
 		// carries the run's Stats (spawns, steals, …) alongside work/span.
 		// One cell per worker keeps the hot counters uncontended; the cells
-		// are summed at quiescence and on snapshot reads.
+		// are summed at quiescence and on snapshot reads. A memory budget
+		// implies accounting too — enforcement needs the live-byte shards.
 		rs.stats = newRunCounters(len(rt.workers))
 	}
 	if obs != nil {
@@ -364,6 +383,19 @@ type AdmissionConfig struct {
 	DefaultQuota Quota
 	// Tenants maps tenant labels to their quotas.
 	Tenants map[string]Quota
+
+	// SoftMemoryWatermark and HardMemoryWatermark arm runtime-wide memory
+	// pressure degradation (see memory.go), keyed off the measured live
+	// gauge Runtime.MemLiveBytes — not declarations. Above the soft
+	// watermark, best-effort submissions are rejected with ErrAdmission and
+	// every other submission is charged max(declared estimate, the tenant's
+	// EWMA of measured run peaks) — pressure is when declared-too-small
+	// estimates hurt, so admission stops trusting them. Above the hard
+	// watermark, each submission additionally cancels (ErrMemoryBudget) the
+	// best-effort run whose live memory most exceeds its tenant's EWMA.
+	// Zero disables either watermark.
+	SoftMemoryWatermark int64
+	HardMemoryWatermark int64
 }
 
 func (cfg *AdmissionConfig) quotaFor(tenant string) Quota {
@@ -402,12 +434,21 @@ type admission struct {
 	admitted      int64
 	rejectedLoad  int64
 	rejectedQuota int64
+	// rejectedMemory counts best-effort submissions shed because the live
+	// gauge was above SoftMemoryWatermark.
+	rejectedMemory int64
 }
 
 type tenantState struct {
 	queued, running    int
 	memory             int64
 	admitted, rejected int64
+	// memEWMA is the tenant's exponentially weighted mean of measured run
+	// peaks (Stats.MemPeakBytes), fed at release with gain 1/8. Above the
+	// soft watermark admission charges max(declared, memEWMA), so a tenant
+	// whose runs routinely outgrow their declarations pays its measured
+	// footprint. Zero until the tenant's first accounted run completes.
+	memEWMA int64
 }
 
 func newAdmission(cfg *AdmissionConfig) *admission {
@@ -423,41 +464,58 @@ func (a *admission) tenant(name string) *tenantState {
 	return ts
 }
 
-// admit reserves a queue slot (and the declared memory) for one submission,
-// or rejects it. Rejections increment counters but reserve nothing.
-func (a *admission) admit(tenant string, mem int64) error {
+// admit reserves a queue slot (and the charged memory) for one submission,
+// or rejects it. Rejections increment counters but reserve nothing. The
+// return value is the memory actually charged — the declared estimate, or
+// the tenant's EWMA of measured peaks when the live gauge is above the soft
+// watermark and the EWMA is larger — which the caller must stash for
+// release to refund.
+func (a *admission) admit(tenant string, qos QoSClass, mem, liveBytes int64) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ts := a.tenant(tenant)
 	if cfg := a.cfg; cfg != nil {
+		if soft := cfg.SoftMemoryWatermark; soft > 0 && liveBytes > soft {
+			if qos == QoSBestEffort {
+				a.rejectedMemory++
+				a.rejectedLoad++
+				ts.rejected++
+				return 0, fmt.Errorf("%w: %d live bytes above soft memory watermark %d; best-effort shed", ErrAdmission, liveBytes, soft)
+			}
+			// Under pressure, stop trusting declarations: charge at least
+			// the tenant's measured footprint.
+			if ts.memEWMA > mem {
+				mem = ts.memEWMA
+			}
+		}
 		switch {
 		case cfg.MaxQueued > 0 && a.queued >= cfg.MaxQueued:
 			a.rejectedLoad++
 			ts.rejected++
-			return fmt.Errorf("%w: %d roots queued (max %d)", ErrAdmission, a.queued, cfg.MaxQueued)
+			return 0, fmt.Errorf("%w: %d roots queued (max %d)", ErrAdmission, a.queued, cfg.MaxQueued)
 		case cfg.MaxActive > 0 && a.queued+a.running >= cfg.MaxActive:
 			a.rejectedLoad++
 			ts.rejected++
-			return fmt.Errorf("%w: %d runs in flight (max %d)", ErrAdmission, a.queued+a.running, cfg.MaxActive)
+			return 0, fmt.Errorf("%w: %d runs in flight (max %d)", ErrAdmission, a.queued+a.running, cfg.MaxActive)
 		case cfg.MaxMemory > 0 && a.memory+mem > cfg.MaxMemory:
 			a.rejectedLoad++
 			ts.rejected++
-			return fmt.Errorf("%w: %d bytes of declared memory in flight (max %d)", ErrAdmission, a.memory, cfg.MaxMemory)
+			return 0, fmt.Errorf("%w: %d bytes of declared memory in flight (max %d)", ErrAdmission, a.memory, cfg.MaxMemory)
 		}
 		q := cfg.quotaFor(tenant)
 		switch {
 		case q.MaxQueued > 0 && ts.queued >= q.MaxQueued:
 			a.rejectedQuota++
 			ts.rejected++
-			return fmt.Errorf("%w: tenant %q has %d roots queued (max %d)", ErrQuota, tenant, ts.queued, q.MaxQueued)
+			return 0, fmt.Errorf("%w: tenant %q has %d roots queued (max %d)", ErrQuota, tenant, ts.queued, q.MaxQueued)
 		case q.MaxActive > 0 && ts.queued+ts.running >= q.MaxActive:
 			a.rejectedQuota++
 			ts.rejected++
-			return fmt.Errorf("%w: tenant %q has %d runs in flight (max %d)", ErrQuota, tenant, ts.queued+ts.running, q.MaxActive)
+			return 0, fmt.Errorf("%w: tenant %q has %d runs in flight (max %d)", ErrQuota, tenant, ts.queued+ts.running, q.MaxActive)
 		case q.MaxMemory > 0 && ts.memory+mem > q.MaxMemory:
 			a.rejectedQuota++
 			ts.rejected++
-			return fmt.Errorf("%w: tenant %q has %d bytes of declared memory in flight (max %d)", ErrQuota, tenant, ts.memory, q.MaxMemory)
+			return 0, fmt.Errorf("%w: tenant %q has %d bytes of declared memory in flight (max %d)", ErrQuota, tenant, ts.memory, q.MaxMemory)
 		}
 	}
 	a.queued++
@@ -466,7 +524,7 @@ func (a *admission) admit(tenant string, mem int64) error {
 	ts.queued++
 	ts.memory += mem
 	ts.admitted++
-	return nil
+	return mem, nil
 }
 
 // picked transitions one run from queued to running, at root pickup.
@@ -482,22 +540,37 @@ func (a *admission) picked(rs *runState) {
 }
 
 // release returns a run's reservation, at finish (or when a submission dies
-// before pickup: serial elision, shut-down runtime).
+// before pickup: serial elision, shut-down runtime). The refund is memAdm —
+// exactly what admit charged — and happens exactly once per run (release is
+// guarded by releaseOnce), so a root cancelled before pickup and a run that
+// ends in a quarantined panic both refund their memory exactly once. The
+// run's measured peak, when accounting was armed, feeds the tenant's EWMA.
 func (a *admission) release(rs *runState) {
+	var sample int64
+	if rs.stats != nil {
+		sample = rs.memPeakBytes() // reads atomics; taken outside a.mu
+	}
 	a.mu.Lock()
 	if rs.picked {
 		a.running--
 	} else {
 		a.queued--
 	}
-	a.memory -= rs.memEst
+	a.memory -= rs.memAdm
 	ts := a.tenant(rs.tenant)
 	if rs.picked {
 		ts.running--
 	} else {
 		ts.queued--
 	}
-	ts.memory -= rs.memEst
+	ts.memory -= rs.memAdm
+	if sample > 0 {
+		if ts.memEWMA == 0 {
+			ts.memEWMA = sample
+		} else {
+			ts.memEWMA += (sample - ts.memEWMA) / 8
+		}
+	}
 	if len(a.tenants) > maxTenantEntries && ts.queued == 0 && ts.running == 0 && ts.memory == 0 {
 		delete(a.tenants, rs.tenant)
 	}
@@ -510,9 +583,13 @@ type TenantLoad struct {
 	// unlabeled work).
 	Tenant string
 	// Queued and Running count the tenant's in-flight runs by phase;
-	// Memory is its in-flight declared memory, in bytes.
+	// Memory is its in-flight admission-charged memory, in bytes.
 	Queued, Running int
 	Memory          int64
+	// MemEWMA is the tenant's exponentially weighted mean of measured run
+	// peaks (zero until an accounted run completes) — the footprint
+	// admission charges instead of the declaration under memory pressure.
+	MemEWMA int64
 	// Admitted and Rejected are cumulative submission counts. Idle tenants
 	// may be pruned once more than 256 are tracked, restarting their
 	// cumulative counts; the runtime-wide totals in LoadReport stay exact.
@@ -564,7 +641,8 @@ func (rt *Runtime) LoadReport() LoadReport {
 	for name, ts := range a.tenants {
 		r.Tenants = append(r.Tenants, TenantLoad{
 			Tenant: name, Queued: ts.queued, Running: ts.running,
-			Memory: ts.memory, Admitted: ts.admitted, Rejected: ts.rejected,
+			Memory: ts.memory, MemEWMA: ts.memEWMA,
+			Admitted: ts.admitted, Rejected: ts.rejected,
 		})
 	}
 	a.mu.Unlock()

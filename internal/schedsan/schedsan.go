@@ -102,6 +102,13 @@ const (
 	// one fault that genuinely stalls the runtime, which is exactly what the
 	// watchdog acceptance test needs (see Options.BreakInjectWake).
 	PointInjectWake
+	// PointMemCharge is the memory layer's budget check at a strand
+	// boundary: a forced failure trips the budget spuriously, cancelling the
+	// run with ErrMemoryBudget (legal — a budget cancel is an outcome every
+	// budgeted caller must already handle, and the skip-but-join drain keeps
+	// liveness). Only budget-armed runs ever reach the point, so the rule is
+	// inert for ordinary work.
+	PointMemCharge
 
 	// NumPoints is the number of defined points.
 	NumPoints
@@ -110,7 +117,7 @@ const (
 var pointNames = [NumPoints]string{
 	"steal", "batch-claim", "batch-cas", "batch-window", "wake", "park",
 	"chunk-peel", "range-split", "view-fold", "recycle",
-	"domain-escalate", "affinity", "inject-wake",
+	"domain-escalate", "affinity", "inject-wake", "mem-charge",
 }
 
 func (p Point) String() string {
@@ -236,6 +243,12 @@ var ruleMenu = []func(rng *rand.Rand) Rule{
 	},
 	func(r *rand.Rand) Rule {
 		return Rule{Point: PointAffinity, Mode: ModeFail, Rate: 0.1 + 0.8*r.Float64()}
+	},
+	// Memory fault (liveness-safe: a forced budget trip cancels the run with
+	// ErrMemoryBudget, a legal outcome whose skip-but-join drain the cancel
+	// layer already guarantees; inert for runs without a memory budget).
+	func(r *rand.Rand) Rule {
+		return Rule{Point: PointMemCharge, Mode: ModeFail, Rate: 0.01 + 0.2*r.Float64()}
 	},
 }
 

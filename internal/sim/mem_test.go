@@ -1,0 +1,54 @@
+package sim_test
+
+import (
+	"testing"
+
+	"cilkgo/internal/cilkmem"
+	"cilkgo/internal/sim"
+	"cilkgo/internal/vprog"
+)
+
+// TestLiveFramePeakWithinCilkmemBounds cross-checks the simulator against
+// the Cilkmem analysis: any p-processor schedule's live-frame peak must lie
+// between the serial high-water mark (when the deepest frame runs, all its
+// ancestors are live — no schedule beats depth-first reuse) and the exact
+// p-processor MHWM (the simulator's state at any instant is a dag downset
+// with at most p strands mid-execution, since suspended frames sit at
+// spawn/sync boundaries).
+func TestLiveFramePeakWithinCilkmemBounds(t *testing.T) {
+	progs := []vprog.Program{
+		vprog.Fib(10),
+		vprog.MatMul(8, 2),
+		vprog.NQueens(6),
+	}
+	for _, prog := range progs {
+		bounds := cilkmem.AnalyzeProgram(prog, 8, 1)
+		for _, p := range []int{1, 2, 4, 8} {
+			r, err := sim.Run(prog, sim.Config{Procs: p, StealCost: 10, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", prog.Name, p, err)
+			}
+			if r.MaxLiveFrames < bounds.SerialHWM {
+				t.Errorf("%s P=%d: sim peak %d below serial HWM %d",
+					prog.Name, p, r.MaxLiveFrames, bounds.SerialHWM)
+			}
+			if exact := bounds.ExactAt(p); r.MaxLiveFrames > exact {
+				t.Errorf("%s P=%d: sim peak %d above exact MHWM %d",
+					prog.Name, p, r.MaxLiveFrames, exact)
+			}
+		}
+	}
+	// On one processor the simulator executes depth-first, so the peak is
+	// not just bounded by — it equals — the serial high-water mark.
+	for _, prog := range progs {
+		bounds := cilkmem.AnalyzeProgram(prog, 1, 1)
+		r, err := sim.Run(prog, sim.Config{Procs: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxLiveFrames != bounds.SerialHWM {
+			t.Errorf("%s P=1: sim peak %d != serial HWM %d",
+				prog.Name, r.MaxLiveFrames, bounds.SerialHWM)
+		}
+	}
+}

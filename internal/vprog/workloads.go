@@ -345,6 +345,40 @@ func SerialParallel(serialWork, parallelWork, grain int64) Program {
 	}
 }
 
+// NQueens models the classic backtracking n-queens search with a spawn per
+// candidate placement: each frame tries every column not attacked by the
+// rows above (bitmask pruning), spawning a child per survivor and syncing
+// before returning. The tree is irregular — branch factors shrink as
+// constraints accumulate — which makes it a useful memory-analysis subject:
+// its live-frame high-water mark depends on which subtrees a schedule holds
+// open, unlike fib's uniform recursion.
+func NQueens(n int) Program {
+	return Program{
+		Name: fmt.Sprintf("nqueens(%d)", n),
+		Root: func() Frame { return nqueensFrame(n, 0, 0, 0, 0) },
+	}
+}
+
+func nqueensFrame(n, row int, cols, diag1, diag2 uint32) Frame {
+	if row == n {
+		return Leaf(1)
+	}
+	steps := make([]Step, 0, n+2)
+	steps = append(steps, Step{Kind: Exec, Cost: int64(n)}) // scan the row
+	for c := 0; c < n; c++ {
+		bit := uint32(1) << uint(c)
+		if cols&bit != 0 || diag1&(bit<<uint(row)) != 0 || diag2&(bit<<uint(n-1-row)) != 0 {
+			continue
+		}
+		nc, nd1, nd2 := cols|bit, diag1|bit<<uint(row), diag2|bit<<uint(n-1-row)
+		steps = append(steps, Step{Kind: Spawn, Child: Lazy(func() Frame {
+			return nqueensFrame(n, row+1, nc, nd1, nd2)
+		})})
+	}
+	steps = append(steps, Step{Kind: Sync}, Step{Kind: Exec, Cost: 1})
+	return Seq(steps...)
+}
+
 // RandomFJ generates a random fork-join program for property tests: frames
 // contain random Exec segments, spawns, calls and syncs, bounded by
 // maxDepth and a per-frame op budget. Its shape and costs are fully
